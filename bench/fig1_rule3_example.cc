@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Figure 1: the motivating example for Rule 3. Function `bar` calls
+ * foo_1 (edge weight 1000, inline cost ~11900), foo_2 (500, ~300) and
+ * foo_3 (500, ~200). A greedy inliner with only Rules 1-2 spends bar's
+ * entire complexity budget (12000) on foo_1 and then cannot inline
+ * foo_2/foo_3 — eliding 1000 counts and leaving no budget. With Rule 3
+ * the oversized foo_1 is rejected, foo_2 and foo_3 are inlined — the
+ * same 1000 counts elided with most of the budget left for more
+ * inlining.
+ */
+#include "bench/bench_util.h"
+
+#include "analysis/inline_cost.h"
+#include "ir/builder.h"
+#include "opt/inliner.h"
+
+namespace pibe {
+namespace {
+
+using ir::BinKind;
+using ir::FunctionBuilder;
+using ir::Module;
+
+ir::FuncId
+makeFoo(Module& m, const std::string& name, int64_t cost_units)
+{
+    ir::FuncId f = m.addFunction(name, 1);
+    FunctionBuilder b(m, f);
+    ir::Reg acc = b.param(0);
+    for (int64_t i = 0; i * 5 < cost_units - 5; ++i)
+        acc = b.binImm(BinKind::kAdd, acc, i + 1);
+    b.ret(acc);
+    return f;
+}
+
+struct Fig1
+{
+    Module m;
+    ir::FuncId bar, foo1, foo2, foo3;
+    profile::EdgeProfile profile;
+};
+
+Fig1
+makeFig1()
+{
+    Fig1 f;
+    f.foo1 = makeFoo(f.m, "foo_1", 11900);
+    f.foo2 = makeFoo(f.m, "foo_2", 300);
+    f.foo3 = makeFoo(f.m, "foo_3", 200);
+    f.bar = f.m.addFunction("bar", 1);
+    FunctionBuilder b(f.m, f.bar);
+    ir::Reg r1 = b.call(f.foo1, {b.param(0)});
+    ir::Reg r2 = b.call(f.foo2, {r1});
+    ir::Reg r3 = b.call(f.foo3, {r2});
+    b.ret(r3);
+    const auto& insts = f.m.func(f.bar).blocks[0].insts;
+    f.profile.addDirect(insts[0].site_id, 1000);
+    f.profile.addDirect(insts[1].site_id, 500);
+    f.profile.addDirect(insts[2].site_id, 500);
+    f.profile.addInvocation(f.foo1, 1000);
+    f.profile.addInvocation(f.foo2, 500);
+    f.profile.addInvocation(f.foo3, 500);
+    f.profile.addInvocation(f.bar, 1000);
+    return f;
+}
+
+} // namespace
+} // namespace pibe
+
+int
+main()
+{
+    using namespace pibe;
+
+    Table t({"configuration", "inlined sites", "weight elided",
+             "blocked (rule2)", "blocked (rule3)", "bar cost after"});
+
+    // Rules 1+2 only: Rule 3 disabled by setting its threshold high.
+    {
+        Fig1 f = makeFig1();
+        opt::PibeInlinerConfig cfg;
+        cfg.budget = 1.0;
+        cfg.rule3_callee_threshold = 1 << 30;
+        cfg.cleanup_callers = false;
+        auto audit = opt::runPibeInliner(f.m, f.profile, cfg);
+        t.addRow({"Rules 1+2 (greedy by weight)",
+                  std::to_string(audit.inlined_sites),
+                  std::to_string(audit.inlined_weight),
+                  std::to_string(audit.blocked_rule2_weight),
+                  std::to_string(audit.blocked_rule3_weight),
+                  std::to_string(
+                      analysis::functionCost(f.m.func(f.bar)))});
+    }
+    // Full PIBE: Rule 3 at its default 3000.
+    {
+        Fig1 f = makeFig1();
+        opt::PibeInlinerConfig cfg;
+        cfg.budget = 1.0;
+        cfg.cleanup_callers = false;
+        auto audit = opt::runPibeInliner(f.m, f.profile, cfg);
+        t.addRow({"Rules 1+2+3 (PIBE)",
+                  std::to_string(audit.inlined_sites),
+                  std::to_string(audit.inlined_weight),
+                  std::to_string(audit.blocked_rule2_weight),
+                  std::to_string(audit.blocked_rule3_weight),
+                  std::to_string(
+                      analysis::functionCost(f.m.func(f.bar)))});
+    }
+
+    bench::printTable(
+        "Figure 1: why Rule 3 exists",
+        "bar -> foo_1 (weight 1000, cost 11900), foo_2 (500, 300), "
+        "foo_3 (500, 200); caller budget 12000. Without Rule 3, foo_1 "
+        "monopolizes the budget for the same elided weight.",
+        t);
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Host-side google-benchmark microbenchmarks for the simulator itself
+ * (instructions per wall-clock second, pipeline pass throughput).
+ * These measure the reproduction's own engine, not the paper's
+ * results — the table/figure binaries alongside this one use
+ * simulated cycles, which wall-clock timing cannot express.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "opt/cleanup.h"
+#include "opt/icp.h"
+#include "opt/inliner.h"
+#include "uarch/simulator.h"
+
+namespace pibe {
+namespace {
+
+const kernel::KernelImage&
+sharedKernel()
+{
+    static kernel::KernelImage image = [] {
+        kernel::KernelConfig cfg;
+        cfg.num_drivers = 32;
+        return kernel::buildKernel(cfg);
+    }();
+    return image;
+}
+
+const profile::EdgeProfile&
+sharedProfile()
+{
+    static profile::EdgeProfile p = [] {
+        const auto& k = sharedKernel();
+        auto suite = workload::makeLmbenchSuite();
+        return core::collectProfile(k.module, k.info, suite, 30);
+    }();
+    return p;
+}
+
+void
+BM_SimulatorSyscallThroughput(benchmark::State& state)
+{
+    const auto& k = sharedKernel();
+    uarch::Simulator sim(k.module);
+    workload::KernelHandle handle(sim, k.info);
+    handle.boot();
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        sim.clearStats();
+        handle.syscall(kernel::sysno::kRead, 3, 0, 4);
+        instructions += sim.stats().instructions;
+    }
+    state.counters["sim_instructions_per_s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorSyscallThroughput);
+
+void
+BM_KernelBuild(benchmark::State& state)
+{
+    kernel::KernelConfig cfg;
+    cfg.num_drivers = static_cast<uint32_t>(state.range(0));
+    for (auto _ : state) {
+        auto image = kernel::buildKernel(cfg);
+        benchmark::DoNotOptimize(image.module.numFunctions());
+    }
+}
+BENCHMARK(BM_KernelBuild)->Arg(8)->Arg(32)->Arg(160);
+
+void
+BM_PibeInliner(benchmark::State& state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        ir::Module m = sharedKernel().module;  // copy
+        profile::EdgeProfile p = sharedProfile();
+        state.ResumeTiming();
+        opt::PibeInlinerConfig cfg;
+        cfg.budget =
+            static_cast<double>(state.range(0)) / 1000.0;
+        auto audit = opt::runPibeInliner(m, p, cfg);
+        benchmark::DoNotOptimize(audit.inlined_sites);
+    }
+}
+BENCHMARK(BM_PibeInliner)->Arg(990)->Arg(999)->Arg(1000);
+
+void
+BM_Icp(benchmark::State& state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        ir::Module m = sharedKernel().module;
+        profile::EdgeProfile p = sharedProfile();
+        state.ResumeTiming();
+        auto audit = opt::runIcp(m, p, {});
+        benchmark::DoNotOptimize(audit.promoted_sites);
+    }
+}
+BENCHMARK(BM_Icp);
+
+void
+BM_CleanupModule(benchmark::State& state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        ir::Module m = sharedKernel().module;
+        state.ResumeTiming();
+        opt::cleanupModule(m);
+        benchmark::DoNotOptimize(m.numFunctions());
+    }
+}
+BENCHMARK(BM_CleanupModule);
+
+} // namespace
+} // namespace pibe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 2: the two baselines — the LTO kernel (how Linux actually
+ * ships) and the PIBE baseline (PIBE's PGO algorithms with no defenses
+ * enabled). The paper reports that PIBE's optimizations alone speed up
+ * the kernel by a geometric mean of -6.6% on LMBench.
+ */
+#include "bench/bench_util.h"
+
+namespace pibe {
+namespace {
+
+/** Paper Table 2 reference overheads (PIBE baseline vs LTO). */
+const std::map<std::string, double> kPaperOverheads = {
+    {"null", 0.034},        {"read", -0.067},      {"write", -0.045},
+    {"open", -0.177},       {"stat", -0.164},      {"fstat", 0.027},
+    {"af_unix", -0.095},    {"fork/exit", -0.052}, {"fork/exec", -0.045},
+    {"fork/shell", -0.040}, {"pipe", -0.023},      {"select_file", -0.096},
+    {"select_tcp", -0.134}, {"tcp_conn", -0.075},  {"udp", -0.103},
+    {"tcp", -0.105},        {"mmap", -0.043},      {"page_fault", -0.035},
+    {"sig_install", 0.001}, {"sig_dispatch", -0.056},
+};
+
+} // namespace
+} // namespace pibe
+
+int
+main()
+{
+    using namespace pibe;
+    kernel::KernelImage k = bench::buildEvalKernel();
+    auto profile = bench::collectLmbenchProfile(k);
+
+    ir::Module lto =
+        core::buildImage(k.module, profile, core::OptConfig::none(),
+                         harden::DefenseConfig::none());
+    // The PIBE baseline: PGO tuned for best LMBench performance, no
+    // defenses.
+    ir::Module pibe_base = core::buildImage(
+        k.module, profile, core::OptConfig::icpAndInline(0.999),
+        harden::DefenseConfig::none());
+
+    auto lat_lto = bench::lmbenchLatencies(lto, k.info);
+    auto lat_pibe = bench::lmbenchLatencies(pibe_base, k.info);
+    auto ovr = bench::overheadsVs(lat_lto, lat_pibe);
+
+    Table t({"Test", "LTO baseline (us)", "PIBE baseline (us)",
+             "overhead", "paper"});
+    auto suite = workload::makeLmbenchSuite();
+    for (const auto& wl : suite) {
+        const std::string& name = wl->name();
+        t.addRow({name, fixedStr(lat_lto.at(name), 3),
+                  fixedStr(lat_pibe.at(name), 3),
+                  percent(ovr.per_test.at(name)),
+                  percent(kPaperOverheads.at(name))});
+    }
+    t.addSeparator();
+    t.addRow({"Geometric Mean", "-", "-", percent(ovr.geomean),
+              "-6.6%"});
+    bench::printTable(
+        "Table 2: LTO baseline vs PIBE (PGO, no defenses) baseline",
+        "Negative overhead = speedup from PIBE's ICP+inlining alone.",
+        t);
+    return 0;
+}

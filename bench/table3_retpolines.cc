@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Table 3: retpoline overhead vs the LTO baseline, comparing static
+ * PIBE indirect-call promotion against JumpSwitches' runtime patching
+ * (§8.2). All configurations harden remaining indirect calls with
+ * retpolines.
+ */
+#include "bench/bench_util.h"
+
+namespace pibe {
+namespace {
+
+struct PaperRow
+{
+    double no_opt, jumpswitches, icp99, icp99999;
+};
+
+/** Paper Table 3 reference overheads (%) per test. */
+const std::map<std::string, PaperRow> kPaper = {
+    {"null", {3.8, 7.9, 10.3, 9.5}},
+    {"read", {12.8, 0.1, 4.8, 1.1}},
+    {"write", {14.7, -1.5, 5.7, 0.8}},
+    {"open", {12.3, 8.6, -0.5, 0.7}},
+    {"stat", {11.9, 8.4, 2.8, 0.2}},
+    {"fstat", {5.4, 9.2, 8.1, 1.0}},
+    {"select_tcp", {146.5, -10.5, 4.6, 5.8}},
+    {"udp", {18.7, 7.4, -0.2, 0.4}},
+    {"tcp", {17.5, 13.3, 0.3, 0.6}},
+    {"tcp_conn", {28.5, 13.3, 12.5, 1.8}},
+    {"af_unix", {10.6, -0.9, -2.0, -5.6}},
+    {"pipe", {4.3, 7.1, 1.7, 0.4}},
+};
+
+} // namespace
+} // namespace pibe
+
+int
+main()
+{
+    using namespace pibe;
+    kernel::KernelImage k = bench::buildEvalKernel();
+    auto profile = bench::collectLmbenchProfile(k);
+
+    ir::Module lto =
+        core::buildImage(k.module, profile, core::OptConfig::none(),
+                         harden::DefenseConfig::none());
+    ir::Module retp =
+        core::buildImage(k.module, profile, core::OptConfig::none(),
+                         harden::DefenseConfig::retpolinesOnly());
+    ir::Module js =
+        core::buildImage(k.module, profile, core::OptConfig::none(),
+                         harden::DefenseConfig::jumpSwitches());
+    ir::Module icp99 = core::buildImage(
+        k.module, profile, core::OptConfig::icpOnly(0.99),
+        harden::DefenseConfig::retpolinesOnly());
+    ir::Module icp99999 = core::buildImage(
+        k.module, profile, core::OptConfig::icpOnly(0.99999),
+        harden::DefenseConfig::retpolinesOnly());
+
+    const auto tests = workload::lmbenchRetpolineSubset();
+    auto latencies = [&](const ir::Module& image) {
+        std::map<std::string, double> out;
+        for (const auto& name : tests) {
+            auto wl = workload::makeLmbenchTest(name);
+            out[name] = core::measureWorkload(image, k.info, *wl,
+                                              bench::measureConfig())
+                            .latency_us;
+        }
+        return out;
+    };
+
+    auto base = latencies(lto);
+    struct Column
+    {
+        const char* name;
+        std::map<std::string, double> lat;
+    };
+    std::vector<Column> cols = {
+        {"LTO w/retpolines", latencies(retp)},
+        {"JumpSwitches", latencies(js)},
+        {"+icp (99%)", latencies(icp99)},
+        {"+icp (99.999%)", latencies(icp99999)},
+    };
+
+    Table t({"Test", "LTO w/retpolines", "JumpSwitches", "+icp (99%)",
+             "+icp (99.999%)", "paper (no-opt/JS/99/99.999)"});
+    std::vector<std::vector<double>> overheads(cols.size());
+    for (const auto& name : tests) {
+        std::vector<std::string> row{name};
+        for (size_t c = 0; c < cols.size(); ++c) {
+            double o = overhead(cols[c].lat.at(name), base.at(name));
+            overheads[c].push_back(o);
+            row.push_back(percent(o));
+        }
+        const PaperRow& p = kPaper.at(name);
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.1f / %.1f / %.1f / %.1f",
+                      p.no_opt, p.jumpswitches, p.icp99, p.icp99999);
+        row.push_back(buf);
+        t.addRow(row);
+    }
+    t.addSeparator();
+    std::vector<std::string> gm{"Geometric Mean"};
+    for (auto& o : overheads)
+        gm.push_back(percent(geomeanOverhead(o)));
+    gm.push_back("20.2 / 5.0 / 3.9 / 1.3");
+    t.addRow(gm);
+
+    bench::printTable(
+        "Table 3: retpoline overhead vs LTO baseline",
+        "Static ICP (PIBE) vs JumpSwitches runtime patching; all "
+        "remaining indirect calls hardened with retpolines.",
+        t);
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Table 7: macrobenchmark throughput (Nginx, Apache, DBench) under
+ * each defense configuration, unoptimized vs PIBE-optimized with an
+ * LMBench training workload (§8.5). Throughput deltas are relative to
+ * the LTO baseline; the retpolines-only configuration uses ICP alone.
+ */
+#include "bench/bench_util.h"
+
+namespace pibe {
+namespace {
+
+double
+throughput(const ir::Module& image, const kernel::KernelInfo& info,
+           std::unique_ptr<workload::Workload> wl)
+{
+    core::MeasureConfig cfg = bench::measureConfig();
+    cfg.warmup_iters = 100;
+    cfg.measure_iters = 300;
+    return core::measureWorkload(image, info, *wl, cfg).ops_per_sec;
+}
+
+struct PaperCell
+{
+    double no_opt, pibe;
+};
+
+} // namespace
+} // namespace pibe
+
+int
+main()
+{
+    using namespace pibe;
+    kernel::KernelImage k = bench::buildEvalKernel();
+    auto profile = bench::collectLmbenchProfile(k);
+
+    struct DefRow
+    {
+        const char* name;
+        harden::DefenseConfig defense;
+        core::OptConfig opt;
+    };
+    const std::vector<DefRow> defenses = {
+        {"w/retpolines", harden::DefenseConfig::retpolinesOnly(),
+         core::OptConfig::icpOnly(0.99999)},
+        {"w/ret-retpolines", harden::DefenseConfig::retRetpolinesOnly(),
+         core::OptConfig::icpAndInline(0.999999, true)},
+        {"w/LVI-CFI", harden::DefenseConfig::lviOnly(),
+         core::OptConfig::icpAndInline(0.999999, true)},
+        {"w/all-defenses", harden::DefenseConfig::all(),
+         core::OptConfig::icpAndInline(0.999999, true)},
+    };
+
+    struct BenchDef
+    {
+        const char* name;
+        std::unique_ptr<workload::Workload> (*make)();
+        // Paper reference deltas per defense row (%, no-opt / PIBE).
+        PaperCell paper[4];
+    };
+    const BenchDef benches[] = {
+        {"Nginx", workload::makeNginxWorkload,
+         {{-6.98, 1.37}, {-33.32, 6.05}, {-27.45, 9.21},
+          {-51.71, -5.95}}},
+        {"Apache", workload::makeApacheWorkload,
+         {{-3.8, 0.76}, {-22.87, -0.08}, {-23.41, 1.88},
+          {-39.26, -7.93}}},
+        {"DBench", workload::makeDbenchWorkload,
+         {{-4.25, -1.78}, {-27.9, -0.84}, {-20.4, 1.61},
+          {-45.61, -6.68}}},
+    };
+
+    ir::Module lto =
+        core::buildImage(k.module, profile, core::OptConfig::none(),
+                         harden::DefenseConfig::none());
+
+    Table t({"Benchmark", "Configuration", "no-opt", "PIBE",
+             "paper no-opt", "paper PIBE"});
+    for (const auto& b : benches) {
+        double vanilla = throughput(lto, k.info, b.make());
+        for (size_t d = 0; d < defenses.size(); ++d) {
+            ir::Module unopt =
+                core::buildImage(k.module, profile,
+                                 core::OptConfig::none(),
+                                 defenses[d].defense);
+            ir::Module opt = core::buildImage(
+                k.module, profile, defenses[d].opt,
+                defenses[d].defense);
+            double tu = throughput(unopt, k.info, b.make());
+            double to = throughput(opt, k.info, b.make());
+            t.addRow({d == 0 ? b.name : "", defenses[d].name,
+                      percent(tu / vanilla - 1.0),
+                      percent(to / vanilla - 1.0),
+                      percent(b.paper[d].no_opt / 100.0),
+                      percent(b.paper[d].pibe / 100.0)});
+        }
+        t.addSeparator();
+    }
+    bench::printTable(
+        "Table 7: macrobenchmark throughput deltas vs LTO baseline",
+        "Positive = faster than the undefended baseline. PIBE images "
+        "are optimized with the LMBench training workload.",
+        t);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 8: indirect-branch gadgets eliminated by PIBE per optimization
+ * budget — promoted indirect-call weight/sites/targets and inlined
+ * (elided) return weight/sites. "Weight" rows are execution counts;
+ * "sites" rows are code locations.
+ */
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace pibe;
+    kernel::KernelImage k = bench::buildEvalKernel();
+    auto profile = bench::collectLmbenchProfile(k);
+
+    Table t({"budget", "icall weight", "call sites", "call targets",
+             "return weight", "return sites"});
+    const double budgets[] = {0.99, 0.999, 0.999999};
+    const char* labels[] = {"99%", "99.9%", "99.9999%"};
+
+    core::BuildReport last;
+    for (int i = 0; i < 3; ++i) {
+        core::OptConfig opt;
+        opt.icp_budget = budgets[i];
+        opt.inline_budget = budgets[i];
+        core::BuildReport rep;
+        core::buildImage(k.module, profile, opt,
+                         harden::DefenseConfig::all(), &rep);
+        auto pct = [](uint64_t part, uint64_t whole) {
+            return whole == 0
+                       ? std::string("-")
+                       : percent(static_cast<double>(part) /
+                                 static_cast<double>(whole));
+        };
+        t.addRow({labels[i],
+                  std::to_string(rep.icp.promoted_weight) + " (" +
+                      pct(rep.icp.promoted_weight,
+                          rep.icp.total_weight) + ")",
+                  std::to_string(rep.icp.promoted_sites) + " (" +
+                      pct(rep.icp.promoted_sites,
+                          rep.icp.candidate_sites) + ")",
+                  std::to_string(rep.icp.promoted_targets) + " (" +
+                      pct(rep.icp.promoted_targets,
+                          rep.icp.candidate_targets) + ")",
+                  std::to_string(rep.inlining.inlined_weight) + " (" +
+                      pct(rep.inlining.inlined_weight,
+                          rep.inlining.total_weight) + ")",
+                  std::to_string(rep.inlining.inlined_sites) + " (" +
+                      pct(rep.inlining.inlined_sites,
+                          rep.inlining.candidate_sites) + ")"});
+        last = rep;
+    }
+    t.addSeparator();
+    t.addRow({"total candidates",
+              std::to_string(last.icp.total_weight),
+              std::to_string(last.icp.candidate_sites),
+              std::to_string(last.icp.candidate_targets),
+              std::to_string(last.inlining.total_weight) + " (varies)",
+              std::to_string(last.inlining.candidate_sites) +
+                  " (varies)"});
+    t.addRow({"paper @99.9999%", "1258m (100.0%)", "647 (89.7%)",
+              "1130 (85.6%)", "13018m (93.7%)", "9969 (86.1%)"});
+
+    bench::printTable(
+        "Table 8: indirect branch gadgets eliminated by PIBE",
+        "Counts rise with budget for forward edges; inlining shows "
+        "diminishing returns due to the size heuristics (paper §8.6). "
+        "Note: the inlining totals vary with budget because promotion "
+        "creates new inlining candidates.",
+        t);
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Attack walkthrough: mounts Spectre V2, Ret2spec, and LVI against a
+ * small victim service, showing how each defense shuts its channel —
+ * and why the combination must be the *fenced* retpoline (§6.3):
+ * retpolines alone leak under LVI, LVI-CFI alone re-opens the BTB.
+ *
+ * Build & run:  ./build/examples/attack_demo
+ */
+#include <cstdio>
+
+#include "harden/harden.h"
+#include "ir/builder.h"
+#include "pibe/pipeline.h"
+#include "uarch/simulator.h"
+#include "uarch/speculation.h"
+
+using namespace pibe;
+
+namespace {
+
+struct Victim
+{
+    ir::Module module;
+    ir::FuncId service;
+    ir::FuncId gadget;
+};
+
+/** A service loop: per request, one indirect handler call + return. */
+Victim
+buildVictim()
+{
+    Victim v;
+    ir::Module& m = v.module;
+    ir::FuncId handler = m.addFunction("request_handler", 1);
+    {
+        ir::FunctionBuilder b(m, handler);
+        b.ret(b.binImm(ir::BinKind::kXor, b.param(0), 0x5a));
+    }
+    v.gadget = m.addFunction("secret_disclosure_gadget", 1);
+    {
+        ir::FunctionBuilder b(m, v.gadget);
+        b.sink(b.param(0)); // "transmits" through a side channel
+        b.ret(b.constI(0));
+    }
+    m.addGlobal("handlers", {ir::funcAddrValue(handler)});
+    v.service = m.addFunction("service", 1);
+    ir::FunctionBuilder b(m, v.service);
+    ir::Reg i = b.newReg();
+    b.setRegConst(i, 0);
+    ir::Reg one = b.constI(1);
+    ir::Reg zero = b.constI(0);
+    ir::BlockId head = b.newBlock();
+    ir::BlockId body = b.newBlock();
+    ir::BlockId done = b.newBlock();
+    b.br(head);
+    b.setBlock(head);
+    ir::Reg cont = b.bin(ir::BinKind::kLt, i, b.param(0));
+    b.condBr(cont, body, done);
+    b.setBlock(body);
+    ir::Reg t = b.load(0, zero);
+    ir::Reg r = b.icall(t, {i});
+    b.sink(r);
+    b.setRegBin(i, ir::BinKind::kAdd, i, one);
+    b.br(head);
+    b.setBlock(done);
+    b.ret(i);
+    return v;
+}
+
+void
+tryAttacks(const char* label, const harden::DefenseConfig& defense)
+{
+    std::printf("%-38s", label);
+    for (uarch::AttackKind kind :
+         {uarch::AttackKind::kSpectreV2, uarch::AttackKind::kRet2spec,
+          uarch::AttackKind::kLvi}) {
+        Victim v = buildVictim();
+        harden::applyDefenses(v.module, defense);
+        uarch::Simulator sim(v.module);
+        uarch::TransientAttacker attacker(
+            kind, sim.layout().funcBase(v.gadget));
+        sim.setObserver(&attacker);
+        sim.run(v.service, {500});
+        std::printf("  %-10s %-8s", uarch::attackKindName(kind),
+                    attacker.gadgetHits() == 0 ? "blocked" : "LEAKED");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Transient control-flow hijacking against a victim "
+                "service (500 requests each):\n\n");
+    harden::DefenseConfig retp_lvi;
+    retp_lvi.retpoline = true;
+    retp_lvi.lvi_cfi = true;
+
+    tryAttacks("no defenses", harden::DefenseConfig::none());
+    tryAttacks("retpolines only",
+               harden::DefenseConfig::retpolinesOnly());
+    tryAttacks("LVI-CFI only", harden::DefenseConfig::lviOnly());
+    tryAttacks("return retpolines only",
+               harden::DefenseConfig::retRetpolinesOnly());
+    tryAttacks("retpolines + LVI (fenced retpoline)", retp_lvi);
+    tryAttacks("all defenses", harden::DefenseConfig::all());
+
+    std::printf(
+        "\nReading the grid:\n"
+        " - retpolines pin BTB speculation but leave the target load\n"
+        "   injectable (LVI leaks) and returns poisonable (Ret2spec\n"
+        "   leaks);\n"
+        " - LVI-CFI fences the loads but its thunk ends in a BTB-\n"
+        "   predicted jump (Spectre V2 leaks);\n"
+        " - only the combined fenced retpoline plus fenced returns\n"
+        "   (\"all defenses\") closes every channel -- at 149%% cost\n"
+        "   without PIBE's branch elimination (see Table 5).\n");
+    return 0;
+}

@@ -1,0 +1,138 @@
+#include "analysis/call_graph.h"
+
+#include <algorithm>
+
+namespace pibe::analysis {
+
+CallGraph::CallGraph(const ir::Module& module)
+    : num_funcs_(module.numFunctions()),
+      callees_(num_funcs_),
+      recursive_(num_funcs_, false)
+{
+    for (const ir::Function& f : module.functions()) {
+        auto& out = callees_[f.id];
+        for (const auto& bb : f.blocks) {
+            for (const auto& inst : bb.insts) {
+                if (inst.op == ir::Opcode::kCall)
+                    out.push_back(inst.callee);
+            }
+        }
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+        if (std::binary_search(out.begin(), out.end(), f.id))
+            recursive_[f.id] = true;
+    }
+    computeSccs();
+}
+
+const std::vector<ir::FuncId>&
+CallGraph::callees(ir::FuncId f) const
+{
+    PIBE_ASSERT(f < num_funcs_, "callees: bad func id");
+    return callees_[f];
+}
+
+bool
+CallGraph::isRecursive(ir::FuncId f) const
+{
+    PIBE_ASSERT(f < num_funcs_, "isRecursive: bad func id");
+    return recursive_[f];
+}
+
+const std::vector<ir::FuncId>&
+CallGraph::bottomUpOrder() const
+{
+    return bottom_up_;
+}
+
+void
+CallGraph::computeSccs()
+{
+    // Iterative Tarjan SCC. Functions in an SCC of size > 1 (or with a
+    // self-edge, already flagged) are recursive. SCC discovery order is
+    // reverse topological, which is exactly the bottom-up order we want.
+    constexpr uint32_t kUnvisited = 0xffffffffu;
+    std::vector<uint32_t> index(num_funcs_, kUnvisited);
+    std::vector<uint32_t> lowlink(num_funcs_, 0);
+    std::vector<bool> on_stack(num_funcs_, false);
+    std::vector<ir::FuncId> stack;
+    uint32_t next_index = 0;
+
+    struct WorkItem
+    {
+        ir::FuncId func;
+        size_t child = 0;
+    };
+
+    for (ir::FuncId root = 0; root < num_funcs_; ++root) {
+        if (index[root] != kUnvisited)
+            continue;
+        std::vector<WorkItem> work;
+        work.push_back({root});
+        index[root] = lowlink[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = true;
+
+        while (!work.empty()) {
+            WorkItem& item = work.back();
+            const auto& succs = callees_[item.func];
+            if (item.child < succs.size()) {
+                ir::FuncId next = succs[item.child++];
+                if (index[next] == kUnvisited) {
+                    index[next] = lowlink[next] = next_index++;
+                    stack.push_back(next);
+                    on_stack[next] = true;
+                    work.push_back({next});
+                } else if (on_stack[next]) {
+                    lowlink[item.func] =
+                        std::min(lowlink[item.func], index[next]);
+                }
+            } else {
+                ir::FuncId v = item.func;
+                work.pop_back();
+                if (!work.empty()) {
+                    lowlink[work.back().func] =
+                        std::min(lowlink[work.back().func], lowlink[v]);
+                }
+                if (lowlink[v] == index[v]) {
+                    // Pop one complete SCC.
+                    std::vector<ir::FuncId> scc;
+                    ir::FuncId w;
+                    do {
+                        w = stack.back();
+                        stack.pop_back();
+                        on_stack[w] = false;
+                        scc.push_back(w);
+                    } while (w != v);
+                    if (scc.size() > 1) {
+                        for (ir::FuncId s : scc)
+                            recursive_[s] = true;
+                    }
+                    // SCCs complete in callee-before-caller order.
+                    for (ir::FuncId s : scc)
+                        bottom_up_.push_back(s);
+                }
+            }
+        }
+    }
+}
+
+const ir::Instruction*
+findSite(const ir::Module& module, ir::SiteId site, SiteRef* where)
+{
+    for (const ir::Function& f : module.functions()) {
+        for (ir::BlockId b = 0; b < f.blocks.size(); ++b) {
+            const auto& insts = f.blocks[b].insts;
+            for (uint32_t i = 0; i < insts.size(); ++i) {
+                if (insts[i].site_id == site) {
+                    if (where)
+                        *where = SiteRef{f.id, b, i};
+                    return &insts[i];
+                }
+            }
+        }
+    }
+    return nullptr;
+}
+
+} // namespace pibe::analysis

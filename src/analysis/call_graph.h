@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Call-graph construction over PIR modules: direct call edges, SCC
+ * (recursion) detection, and a bottom-up traversal order used by the
+ * default (LLVM-like) inliner.
+ */
+#ifndef PIBE_ANALYSIS_CALL_GRAPH_H_
+#define PIBE_ANALYSIS_CALL_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace pibe::analysis {
+
+/** Location of an instruction within a module. */
+struct SiteRef
+{
+    ir::FuncId func = ir::kInvalidFunc;
+    ir::BlockId block = 0;
+    uint32_t index = 0;
+};
+
+/**
+ * Direct-call graph of a module.
+ *
+ * Indirect edges are not represented here (they are profile-driven and
+ * handled by the ICP pass); the graph serves recursion detection and
+ * bottom-up ordering for inliners.
+ */
+class CallGraph
+{
+  public:
+    /** Build the graph by scanning `module`. */
+    explicit CallGraph(const ir::Module& module);
+
+    /** Unique direct callees of `f` (deduplicated). */
+    const std::vector<ir::FuncId>& callees(ir::FuncId f) const;
+
+    /**
+     * True if `f` participates in a direct-call cycle (including
+     * self-recursion). Such functions are never inlining candidates.
+     */
+    bool isRecursive(ir::FuncId f) const;
+
+    /**
+     * Functions in bottom-up order: every function appears after all of
+     * its non-recursive callees (reverse topological order of the SCC
+     * condensation). This is the visitation order LLVM's inliner uses.
+     */
+    const std::vector<ir::FuncId>& bottomUpOrder() const;
+
+  private:
+    void computeSccs();
+
+    size_t num_funcs_;
+    std::vector<std::vector<ir::FuncId>> callees_;
+    std::vector<bool> recursive_;
+    std::vector<ir::FuncId> bottom_up_;
+};
+
+/** Find the instruction carrying `site` in the module; null if absent. */
+const ir::Instruction* findSite(const ir::Module& module, ir::SiteId site,
+                                SiteRef* where = nullptr);
+
+} // namespace pibe::analysis
+
+#endif // PIBE_ANALYSIS_CALL_GRAPH_H_

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * InlineCost analysis, mirroring the LLVM heuristic PIBE's paper
+ * describes (§5.2): each instruction is assigned a numeric cost that
+ * approximates its encoded size; the cost of a function is the sum over
+ * its instructions. The paper's Rule 2 (caller complexity <= 12000) and
+ * Rule 3 (callee complexity <= 3000) thresholds are expressed in these
+ * units.
+ */
+#ifndef PIBE_ANALYSIS_INLINE_COST_H_
+#define PIBE_ANALYSIS_INLINE_COST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace pibe::analysis {
+
+/** Standard per-instruction cost on x86 (paper §5.2). */
+constexpr int64_t kInstrCost = 5;
+
+/**
+ * Cost of one instruction in InlineCost units.
+ *
+ * Most instructions cost kInstrCost. A nested call costs
+ * 5 + 5 * num_args (argument setup plus the call itself). Moves and
+ * constants are considered free, as register allocation and constant
+ * folding typically eliminate them. Switches pay per case.
+ */
+int64_t instructionCost(const ir::Instruction& inst);
+
+/** InlineCost of a whole function (sum of instruction costs). */
+int64_t functionCost(const ir::Function& func);
+
+/**
+ * Caches function costs and invalidates on demand; inliners query
+ * costs for every candidate, and recompute only callers they changed.
+ */
+class InlineCostCache
+{
+  public:
+    explicit InlineCostCache(const ir::Module& module);
+
+    /** Cost of `f`, computed lazily and cached. */
+    int64_t cost(ir::FuncId f);
+
+    /** Drop the cached cost of `f` (call after modifying its body). */
+    void invalidate(ir::FuncId f);
+
+  private:
+    const ir::Module& module_;
+    std::vector<int64_t> cost_;   // -1 == not computed
+};
+
+} // namespace pibe::analysis
+
+#endif // PIBE_ANALYSIS_INLINE_COST_H_

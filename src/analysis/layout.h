@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Code layout: assigns byte addresses to every function, block, and
+ * instruction of a module, and computes the kernel image size.
+ *
+ * The layout is what makes code-size effects real in the simulator:
+ * the i-cache is indexed by these addresses (so inlining-induced bloat
+ * costs cycles), the BTB is indexed by branch addresses (so aliasing
+ * and poisoning are meaningful), and Table 12's image-size numbers are
+ * read directly off the layout.
+ */
+#ifndef PIBE_ANALYSIS_LAYOUT_H_
+#define PIBE_ANALYSIS_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace pibe::analysis {
+
+/**
+ * Estimated encoded size of one instruction in bytes, including its
+ * hardening sequence (hardened branches carry their inline thunk-call
+ * setup; the shared thunk bodies are accounted once per image).
+ */
+uint32_t instByteSize(const ir::Instruction& inst);
+
+/** Byte layout of a module's code image. */
+class CodeLayout
+{
+  public:
+    /** Compute the layout of `module`. */
+    explicit CodeLayout(const ir::Module& module);
+
+    /** Base address of function `f`. */
+    uint64_t funcBase(ir::FuncId f) const;
+
+    /** Start address of block `b` in function `f`. */
+    uint64_t blockStart(ir::FuncId f, ir::BlockId b) const;
+
+    /** One past the last byte of block `b` in function `f`. */
+    uint64_t blockEnd(ir::FuncId f, ir::BlockId b) const;
+
+    /** Address of instruction `idx` within block `b` of function `f`. */
+    uint64_t instAddr(ir::FuncId f, ir::BlockId b, uint32_t idx) const;
+
+    /** Total image size in bytes (code plus shared thunks). */
+    uint64_t imageSize() const { return image_size_; }
+
+    /**
+     * Image size rounded up to 2 MiB huge pages — the granularity at
+     * which kernel text occupies memory ("mem size" in Table 12).
+     */
+    uint64_t residentTextSize() const;
+
+  private:
+    struct FuncLayout
+    {
+        uint64_t base = 0;
+        // block_offsets[b] holds the per-instruction offsets of block b
+        // relative to the function base, plus one trailing end offset.
+        std::vector<std::vector<uint32_t>> inst_offsets;
+    };
+
+    std::vector<FuncLayout> funcs_;
+    uint64_t image_size_ = 0;
+};
+
+} // namespace pibe::analysis
+
+#endif // PIBE_ANALYSIS_LAYOUT_H_

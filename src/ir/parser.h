@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Textual PIR parser — the inverse of printer.h.
+ *
+ * parseModule(printModule(m)) reconstructs a module equivalent to `m`
+ * (same globals incl. initializers, same functions/blocks/instructions,
+ * same attributes, schemes, asm flags, and site ids). This is what
+ * makes PIR a complete offline toolkit: kernels, intermediate images,
+ * and test cases can be dumped, inspected, edited, and reloaded — the
+ * role LLVM's .ll text format plays for the original system.
+ */
+#ifndef PIBE_IR_PARSER_H_
+#define PIBE_IR_PARSER_H_
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace pibe::ir {
+
+/**
+ * Parse the textual module format produced by printModule().
+ * Fatal (PIBE_FATAL) on malformed input, with a line number.
+ */
+Module parseModule(const std::string& text);
+
+} // namespace pibe::ir
+
+#endif // PIBE_IR_PARSER_H_

@@ -1,0 +1,200 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace pibe::ir {
+
+const char*
+binKindName(BinKind kind)
+{
+    switch (kind) {
+      case BinKind::kAdd: return "add";
+      case BinKind::kSub: return "sub";
+      case BinKind::kMul: return "mul";
+      case BinKind::kDiv: return "div";
+      case BinKind::kRem: return "rem";
+      case BinKind::kAnd: return "and";
+      case BinKind::kOr:  return "or";
+      case BinKind::kXor: return "xor";
+      case BinKind::kShl: return "shl";
+      case BinKind::kShr: return "shr";
+      case BinKind::kEq:  return "eq";
+      case BinKind::kNe:  return "ne";
+      case BinKind::kLt:  return "lt";
+      case BinKind::kLe:  return "le";
+      case BinKind::kGt:  return "gt";
+      case BinKind::kGe:  return "ge";
+    }
+    return "?";
+}
+
+const char*
+fwdSchemeName(FwdScheme scheme)
+{
+    switch (scheme) {
+      case FwdScheme::kNone:            return "none";
+      case FwdScheme::kRetpoline:       return "retpoline";
+      case FwdScheme::kLviCfi:          return "lvi-cfi";
+      case FwdScheme::kFencedRetpoline: return "fenced-retpoline";
+      case FwdScheme::kJumpSwitch:      return "jump-switch";
+    }
+    return "?";
+}
+
+const char*
+retSchemeName(RetScheme scheme)
+{
+    switch (scheme) {
+      case RetScheme::kNone:            return "none";
+      case RetScheme::kReturnRetpoline: return "return-retpoline";
+      case RetScheme::kLviRet:          return "lvi-ret";
+      case RetScheme::kFencedRet:       return "fenced-ret";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string
+regName(Reg r)
+{
+    if (r == kNoReg)
+        return "_";
+    return "r" + std::to_string(r);
+}
+
+} // namespace
+
+std::string
+printInstruction(const Module& m, const Instruction& inst)
+{
+    std::ostringstream os;
+    switch (inst.op) {
+      case Opcode::kConst:
+        os << regName(inst.dst) << " = const " << inst.imm;
+        break;
+      case Opcode::kMove:
+        os << regName(inst.dst) << " = move " << regName(inst.a);
+        break;
+      case Opcode::kBinOp:
+        os << regName(inst.dst) << " = " << binKindName(inst.bin) << " "
+           << regName(inst.a) << ", " << regName(inst.b);
+        break;
+      case Opcode::kFuncAddr:
+        os << regName(inst.dst) << " = funcaddr @"
+           << m.func(inst.callee).name;
+        break;
+      case Opcode::kLoad:
+        os << regName(inst.dst) << " = load @" << m.global(inst.global).name
+           << "[" << regName(inst.a) << " + " << inst.imm << "]";
+        break;
+      case Opcode::kStore:
+        os << "store @" << m.global(inst.global).name << "["
+           << regName(inst.a) << " + " << inst.imm
+           << "] = " << regName(inst.b);
+        break;
+      case Opcode::kFrameLoad:
+        os << regName(inst.dst) << " = frame[" << inst.imm << "]";
+        break;
+      case Opcode::kFrameStore:
+        os << "frame[" << inst.imm << "] = " << regName(inst.a);
+        break;
+      case Opcode::kCall:
+        os << regName(inst.dst) << " = call @" << m.func(inst.callee).name
+           << "(";
+        for (size_t i = 0; i < inst.args.size(); ++i)
+            os << (i ? ", " : "") << regName(inst.args[i]);
+        os << ")";
+        break;
+      case Opcode::kICall:
+        os << regName(inst.dst) << " = icall " << regName(inst.a) << "(";
+        for (size_t i = 0; i < inst.args.size(); ++i)
+            os << (i ? ", " : "") << regName(inst.args[i]);
+        os << ")";
+        if (inst.is_asm)
+            os << " !asm";
+        if (inst.fwd_scheme != FwdScheme::kNone)
+            os << " !" << fwdSchemeName(inst.fwd_scheme);
+        break;
+      case Opcode::kRet:
+        os << "ret";
+        if (inst.a != kNoReg)
+            os << " " << regName(inst.a);
+        if (inst.ret_scheme != RetScheme::kNone)
+            os << " !" << retSchemeName(inst.ret_scheme);
+        break;
+      case Opcode::kBr:
+        os << "br bb" << inst.t0;
+        break;
+      case Opcode::kCondBr:
+        os << "condbr " << regName(inst.a) << ", bb" << inst.t0 << ", bb"
+           << inst.t1;
+        break;
+      case Opcode::kSwitch:
+        os << "switch " << regName(inst.a) << " default bb" << inst.t0;
+        for (size_t i = 0; i < inst.case_values.size(); ++i) {
+            os << ", " << inst.case_values[i] << "->bb"
+               << inst.case_targets[i];
+        }
+        if (inst.is_asm)
+            os << " !asm";
+        if (inst.fwd_scheme != FwdScheme::kNone)
+            os << " !" << fwdSchemeName(inst.fwd_scheme);
+        break;
+      case Opcode::kSink:
+        os << "sink " << regName(inst.a);
+        break;
+    }
+    if (inst.site_id != kNoSite)
+        os << " !site " << inst.site_id;
+    return os.str();
+}
+
+std::string
+printFunction(const Module& m, const Function& f)
+{
+    std::ostringstream os;
+    os << "func @" << f.name << "(params=" << f.num_params
+       << ", regs=" << f.num_regs << ", frame=" << f.frame_size << ")";
+    if (f.hasAttr(kAttrNoInline))
+        os << " noinline";
+    if (f.hasAttr(kAttrOptNone))
+        os << " optnone";
+    if (f.hasAttr(kAttrBootSection))
+        os << " boot";
+    if (f.hasAttr(kAttrExternal))
+        os << " external";
+    os << " {\n";
+    for (BlockId b = 0; b < f.blocks.size(); ++b) {
+        os << "bb" << b << ":\n";
+        for (const auto& inst : f.blocks[b].insts)
+            os << "    " << printInstruction(m, inst) << "\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+printModule(const Module& m)
+{
+    std::ostringstream os;
+    for (const Global& g : m.globals()) {
+        os << "global @" << g.name << "[" << g.init.size() << "]";
+        // Sparse initializer dump: only non-zero slots.
+        bool any = false;
+        for (size_t i = 0; i < g.init.size(); ++i) {
+            if (g.init[i] == 0)
+                continue;
+            os << (any ? ", " : " { ") << i << ": " << g.init[i];
+            any = true;
+        }
+        if (any)
+            os << " }";
+        os << "\n";
+    }
+    for (const Function& f : m.functions())
+        os << printFunction(m, f);
+    return os.str();
+}
+
+} // namespace pibe::ir

@@ -1,0 +1,221 @@
+#include "ir/verifier.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace pibe::ir {
+
+namespace {
+
+class FunctionVerifier
+{
+  public:
+    FunctionVerifier(const Module& module, const Function& func)
+        : module_(module), func_(func)
+    {
+    }
+
+    std::vector<std::string>
+    run()
+    {
+        if (func_.isDeclaration())
+            return problems_;
+        for (BlockId b = 0; b < func_.blocks.size(); ++b)
+            checkBlock(b);
+        return problems_;
+    }
+
+  private:
+    template <typename... Args>
+    void
+    problem(BlockId b, size_t idx, Args&&... args)
+    {
+        std::ostringstream os;
+        os << func_.name << " bb" << b << "[" << idx << "]: ";
+        (os << ... << args);
+        problems_.push_back(os.str());
+    }
+
+    void
+    checkReg(BlockId b, size_t idx, Reg r, const char* what)
+    {
+        if (r == kNoReg || r >= func_.num_regs)
+            problem(b, idx, "bad ", what, " register ", r);
+    }
+
+    void
+    checkTarget(BlockId b, size_t idx, BlockId t)
+    {
+        if (t >= func_.blocks.size())
+            problem(b, idx, "branch target bb", t, " out of range");
+    }
+
+    void
+    checkBlock(BlockId b)
+    {
+        const BasicBlock& bb = func_.blocks[b];
+        if (bb.insts.empty()) {
+            problem(b, 0, "empty block");
+            return;
+        }
+        for (size_t i = 0; i < bb.insts.size(); ++i) {
+            const Instruction& inst = bb.insts[i];
+            const bool last = (i == bb.insts.size() - 1);
+            if (inst.isTerminator() != last) {
+                problem(b, i, last ? "block does not end in terminator"
+                                   : "terminator mid-block");
+            }
+            checkInst(b, i, inst);
+        }
+    }
+
+    void
+    checkInst(BlockId b, size_t i, const Instruction& inst)
+    {
+        switch (inst.op) {
+          case Opcode::kConst:
+            checkReg(b, i, inst.dst, "dst");
+            break;
+          case Opcode::kMove:
+            checkReg(b, i, inst.dst, "dst");
+            checkReg(b, i, inst.a, "src");
+            break;
+          case Opcode::kBinOp:
+            checkReg(b, i, inst.dst, "dst");
+            checkReg(b, i, inst.a, "lhs");
+            checkReg(b, i, inst.b, "rhs");
+            break;
+          case Opcode::kFuncAddr:
+            checkReg(b, i, inst.dst, "dst");
+            if (inst.callee >= module_.numFunctions())
+                problem(b, i, "funcaddr of unknown function");
+            break;
+          case Opcode::kLoad:
+            checkReg(b, i, inst.dst, "dst");
+            checkReg(b, i, inst.a, "index");
+            if (inst.global >= module_.numGlobals())
+                problem(b, i, "load from unknown global");
+            break;
+          case Opcode::kStore:
+            checkReg(b, i, inst.a, "index");
+            checkReg(b, i, inst.b, "value");
+            if (inst.global >= module_.numGlobals())
+                problem(b, i, "store to unknown global");
+            break;
+          case Opcode::kFrameLoad:
+            checkReg(b, i, inst.dst, "dst");
+            if (inst.imm < 0 ||
+                inst.imm >= static_cast<int64_t>(func_.frame_size))
+                problem(b, i, "frame load slot ", inst.imm, " out of range");
+            break;
+          case Opcode::kFrameStore:
+            checkReg(b, i, inst.a, "value");
+            if (inst.imm < 0 ||
+                inst.imm >= static_cast<int64_t>(func_.frame_size))
+                problem(b, i, "frame store slot ", inst.imm, " out of range");
+            break;
+          case Opcode::kCall: {
+            checkReg(b, i, inst.dst, "dst");
+            if (inst.callee >= module_.numFunctions()) {
+                problem(b, i, "call to unknown function");
+                break;
+            }
+            const Function& callee = module_.func(inst.callee);
+            if (inst.args.size() != callee.num_params) {
+                problem(b, i, "call to ", callee.name, " with ",
+                        inst.args.size(), " args, expected ",
+                        callee.num_params);
+            }
+            for (Reg r : inst.args)
+                checkReg(b, i, r, "arg");
+            if (inst.site_id == kNoSite)
+                problem(b, i, "call without site id");
+            break;
+          }
+          case Opcode::kICall:
+            checkReg(b, i, inst.dst, "dst");
+            checkReg(b, i, inst.a, "target");
+            for (Reg r : inst.args)
+                checkReg(b, i, r, "arg");
+            if (inst.site_id == kNoSite)
+                problem(b, i, "icall without site id");
+            break;
+          case Opcode::kRet:
+            if (inst.a != kNoReg)
+                checkReg(b, i, inst.a, "value");
+            if (inst.site_id == kNoSite)
+                problem(b, i, "ret without site id");
+            break;
+          case Opcode::kBr:
+            checkTarget(b, i, inst.t0);
+            break;
+          case Opcode::kCondBr:
+            checkReg(b, i, inst.a, "cond");
+            checkTarget(b, i, inst.t0);
+            checkTarget(b, i, inst.t1);
+            break;
+          case Opcode::kSwitch:
+            checkReg(b, i, inst.a, "value");
+            checkTarget(b, i, inst.t0);
+            if (inst.case_values.size() != inst.case_targets.size())
+                problem(b, i, "switch case arity mismatch");
+            for (BlockId t : inst.case_targets)
+                checkTarget(b, i, t);
+            break;
+          case Opcode::kSink:
+            checkReg(b, i, inst.a, "value");
+            break;
+        }
+    }
+
+    const Module& module_;
+    const Function& func_;
+    std::vector<std::string> problems_;
+};
+
+} // namespace
+
+std::vector<std::string>
+verifyFunction(const Module& module, const Function& func)
+{
+    return FunctionVerifier(module, func).run();
+}
+
+std::vector<std::string>
+verifyModule(const Module& module)
+{
+    std::vector<std::string> problems;
+    std::unordered_set<SiteId> seen_sites;
+    for (const Function& f : module.functions()) {
+        auto p = verifyFunction(module, f);
+        problems.insert(problems.end(), p.begin(), p.end());
+        for (const auto& bb : f.blocks) {
+            for (const auto& inst : bb.insts) {
+                if (inst.site_id == kNoSite)
+                    continue;
+                if (inst.site_id >= module.siteIdBound()) {
+                    problems.push_back(f.name + ": site id " +
+                                       std::to_string(inst.site_id) +
+                                       " beyond module bound");
+                }
+                if (!seen_sites.insert(inst.site_id).second) {
+                    problems.push_back(f.name + ": duplicate site id " +
+                                       std::to_string(inst.site_id));
+                }
+            }
+        }
+    }
+    return problems;
+}
+
+void
+verifyOrDie(const Module& module, const std::string& context)
+{
+    auto problems = verifyModule(module);
+    if (!problems.empty()) {
+        PIBE_FATAL("module verification failed (", context, "): ",
+                   problems.front(), " [", problems.size(), " problem(s)]");
+    }
+}
+
+} // namespace pibe::ir

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Structural verifier for PIR modules.
+ *
+ * The verifier is run after construction and after every transformation
+ * pass in tests; it checks the invariants the interpreter and the
+ * passes rely on.
+ */
+#ifndef PIBE_IR_VERIFIER_H_
+#define PIBE_IR_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace pibe::ir {
+
+/**
+ * Verify one function. Returns a list of human-readable problems
+ * (empty if the function is well-formed).
+ *
+ * Checked invariants:
+ *  - every non-declaration function has blocks and each block ends in
+ *    exactly one terminator (and has no terminator mid-block);
+ *  - register operands are < num_regs and defined registers are valid;
+ *  - branch and switch targets are valid block ids;
+ *  - direct call callees exist and argument counts match the callee's
+ *    parameter count;
+ *  - frame accesses are within frame_size; global accesses name valid
+ *    globals;
+ *  - every call and return carries a site id unique within the module.
+ */
+std::vector<std::string> verifyFunction(const Module& module,
+                                        const Function& func);
+
+/** Verify an entire module; returns all problems found. */
+std::vector<std::string> verifyModule(const Module& module);
+
+/** Verify a module and PIBE_FATAL with the first problem, if any. */
+void verifyOrDie(const Module& module, const std::string& context);
+
+} // namespace pibe::ir
+
+#endif // PIBE_IR_VERIFIER_H_

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Internal construction machinery for the synthetic kernel. Not part
+ * of the public API; included only by kernel_*.cc.
+ */
+#ifndef PIBE_KERNEL_KERNEL_BUILDER_INTERNAL_H_
+#define PIBE_KERNEL_KERNEL_BUILDER_INTERNAL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+#include "kernel/kernel.h"
+#include "support/rng.h"
+
+namespace pibe::kernel {
+
+/**
+ * Builds the synthetic kernel module in two phases: every function is
+ * declared first (so tables and call sites can reference ids), then
+ * bodies are emitted.
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(const KernelConfig& config);
+
+    /** Run the build; valid to call once. */
+    KernelImage build();
+
+  private:
+    using FB = ir::FunctionBuilder;
+    using Reg = ir::Reg;
+    using BK = ir::BinKind;
+    using L = KernelLayout;
+
+    // --- phases ---
+    void declareCore();
+    void declareDrivers();
+    void createGlobals();
+    void buildUtil();
+    void buildSecurity();
+    void buildVfs();
+    void buildFilesystems();
+    void buildPipes();
+    void buildSockets();
+    void buildSched();
+    void buildMm();
+    void buildSignals();
+    void buildIrqTrap();
+    void buildSyscalls();
+    void buildDrivers();
+    void buildBoot();
+
+    // --- declaration helper ---
+    ir::FuncId declare(const std::string& name, uint32_t params,
+                       uint32_t attrs = ir::kAttrNone);
+
+    // --- emission helpers (operate on the current block of b) ---
+
+    /** kmem[index + off] */
+    Reg kload(FB& b, Reg index, int64_t off = 0);
+    void kstore(FB& b, Reg index, Reg value, int64_t off = 0);
+    /** kmem[abs_off] with a constant address. */
+    Reg kloadAbs(FB& b, int64_t abs_off);
+    void kstoreAbs(FB& b, int64_t abs_off, Reg value);
+
+    /** for (i = 0; i < n; ++i) body(i) — body must not terminate. */
+    void countedLoop(FB& b, Reg n, const std::function<void(Reg)>& body);
+
+    /** if (cond != 0) body() — body may terminate (e.g. early ret). */
+    void ifThen(FB& b, Reg cond, const std::function<void()>& body);
+
+    /** if (cond) t() else e(); both may terminate. */
+    void ifThenElse(FB& b, Reg cond, const std::function<void()>& t,
+                    const std::function<void()>& e);
+
+    /** Emit `n` dependent ALU operations on `seed`; returns result. */
+    Reg emitAluChain(FB& b, Reg seed, uint32_t n);
+
+    /**
+     * Allocate `n` frame slots and spill derived values into them —
+     * models stack-resident locals. Inlining merges these frames into
+     * the caller's, which is what Rule 2's stack-utilization concern
+     * (§5.2) is about.
+     */
+    void useLocals(FB& b, Reg seed, uint32_t n);
+
+    /** Indirect call through kmem-resident table global `g`[slot]. */
+    Reg tableCall(FB& b, ir::GlobalId g, Reg slot,
+                  std::vector<Reg> args, bool is_asm = false);
+
+    /** True when the last emitted instruction terminated the block. */
+    static bool blockOpen(FB& b);
+
+    // --- module state ---
+    KernelConfig cfg_;
+    ir::Module m_;
+    KernelInfo info_;
+    Rng rng_;
+
+    ir::GlobalId kmem_ = 0;
+    ir::GlobalId sys_table_ = 0;
+    ir::GlobalId fops_ = 0;      ///< fops[fs*8 + op]
+    ir::GlobalId proto_ops_ = 0; ///< proto_ops[proto*8 + op]
+    ir::GlobalId pv_ops_ = 0;    ///< paravirt table
+    ir::GlobalId sig_table_ = 0; ///< user signal handlers
+    ir::GlobalId drv_ops_ = 0;   ///< drv_ops[d*4 + op]
+    ir::GlobalId ptype_ = 0;     ///< protocol receive handlers
+
+    /** Name -> FuncId shorthand for handwritten code. */
+    ir::FuncId fn(const std::string& name) const;
+
+    // Driver function ids: [d][0..3] = xmit, ioctl, irq, probe.
+    std::vector<std::vector<ir::FuncId>> driver_ops_;
+    std::vector<std::vector<ir::FuncId>> driver_helpers_;
+    std::vector<ir::FuncId> driver_work_;
+};
+
+} // namespace pibe::kernel
+
+#endif // PIBE_KERNEL_KERNEL_BUILDER_INTERNAL_H_

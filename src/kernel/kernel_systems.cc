@@ -1,0 +1,1333 @@
+/**
+ * @file
+ * Synthetic kernel: sockets, scheduler, memory management, signals,
+ * irq/trap dispatch, syscall machinery, and boot code.
+ */
+#include "kernel/kernel_builder_internal.h"
+
+namespace pibe::kernel {
+
+// ---------------------------------------------------------------------
+// Sockets
+// ---------------------------------------------------------------------
+
+void
+KernelBuilder::buildSockets()
+{
+    // sock entry layout: [0]=proto [1]=state [2]=peer [3]=rx_head
+    // [4]=rx_tail [5]=ready [6]=tx_stat [7]=rx_stat [8..]=rxbuf.
+    auto sock_off_of_index = [&](FB& b, Reg idx) {
+        Reg masked = b.binImm(BK::kAnd, idx, L::kNumSocks - 1);
+        Reg scaled = b.binImm(BK::kMul, masked, L::kSockSize);
+        return b.binImm(BK::kAdd, scaled, L::kSockTable);
+    };
+    auto sock_index_of_off = [&](FB& b, Reg off) {
+        Reg rel = b.binImm(BK::kSub, off, L::kSockTable);
+        return b.binImm(BK::kDiv, rel, L::kSockSize);
+    };
+
+    { // sock_alloc(proto) -> sock index or -1
+        FB b(m_, fn("sock_alloc"));
+        Reg n = b.constI(L::kNumSocks);
+        countedLoop(b, n, [&](Reg i) {
+            Reg scaled = b.binImm(BK::kMul, i, L::kSockSize);
+            Reg off = b.binImm(BK::kAdd, scaled, L::kSockTable);
+            Reg state = kload(b, off, 1);
+            Reg free_slot = b.binImm(BK::kEq, state, 0);
+            ifThen(b, free_slot, [&] {
+                Reg p = b.binImm(BK::kRem, b.param(0), proto::kCount);
+                kstore(b, off, p, 0);
+                Reg one = b.constI(1);
+                kstore(b, off, one, 1);
+                Reg zero = b.constI(0);
+                kstore(b, off, zero, 2);
+                kstore(b, off, zero, 3);
+                kstore(b, off, zero, 4);
+                b.ret(i);
+            });
+        });
+        b.ret(b.constI(-1));
+    }
+    { // net_checksum(ubuf, len): fold user words.
+        FB b(m_, fn("net_checksum"));
+        Reg len = b.binImm(BK::kAnd, b.param(1), 31);
+        Reg acc = b.newReg();
+        b.setRegConst(acc, 0);
+        countedLoop(b, len, [&](Reg i) {
+            Reg uoff = b.bin(BK::kAdd, b.param(0), i);
+            Reg masked = b.binImm(BK::kAnd, uoff, L::kUserSize - 1);
+            Reg v = kload(b, masked, L::kUserBase);
+            Reg sum = b.bin(BK::kAdd, acc, v);
+            Reg folded = b.binImm(BK::kAnd, sum, 0xffffffff);
+            b.setReg(acc, folded);
+        });
+        b.ret(acc);
+    }
+    { // sk_wake(sock_off)
+        FB b(m_, fn("sk_wake"));
+        Reg one = b.constI(1);
+        kstore(b, b.param(0), one, 5);
+        b.ret(one);
+    }
+    { // sock_copy_to_peer(sock_off, ubuf, len): enqueue on peer's rx.
+        FB b(m_, fn("sock_copy_to_peer"));
+        useLocals(b, b.param(2), 2);
+        Reg peer = kload(b, b.param(0), 2);
+        Reg poff = sock_off_of_index(b, peer);
+        Reg tail = kload(b, poff, 4);
+        Reg len = b.binImm(BK::kAnd, b.param(2), 31);
+        countedLoop(b, len, [&](Reg i) {
+            Reg uoff = b.bin(BK::kAdd, b.param(1), i);
+            Reg umask = b.binImm(BK::kAnd, uoff, L::kUserSize - 1);
+            Reg v = kload(b, umask, L::kUserBase);
+            Reg pos = b.bin(BK::kAdd, tail, i);
+            Reg slot = b.binImm(BK::kAnd, pos, L::kSockBuf - 1);
+            Reg idx = b.bin(BK::kAdd, poff, slot);
+            kstore(b, idx, v, 8);
+        });
+        Reg ntail = b.bin(BK::kAdd, tail, len);
+        kstore(b, poff, ntail, 4);
+        Reg tx = kload(b, b.param(0), 6);
+        Reg ntx = b.binImm(BK::kAdd, tx, 1);
+        kstore(b, b.param(0), ntx, 6);
+        Reg w = b.call(fn("sk_wake"), {poff});
+        b.sink(w);
+        b.ret(len);
+    }
+    { // skb_alloc(len): slab-flavored buffer grab.
+        FB b(m_, fn("skb_alloc"));
+        Reg ctr = kloadAbs(b, L::kScalars + 22);
+        Reg nctr = b.binImm(BK::kAdd, ctr, 1);
+        kstoreAbs(b, L::kScalars + 22, nctr);
+        Reg mix = b.bin(BK::kXor, nctr, b.param(0));
+        b.ret(mix);
+    }
+    { // skb_put(skb, len)
+        FB b(m_, fn("skb_put"));
+        Reg sum = b.bin(BK::kAdd, b.param(0), b.param(1));
+        b.ret(sum);
+    }
+    { // netif_rx(sock, ubuf, len): protocol demux via ptype table.
+        FB b(m_, fn("netif_rx"));
+        Reg proto_reg = kload(b, b.param(0), 0);
+        Reg masked = b.binImm(BK::kAnd, proto_reg, 3);
+        Reg r = tableCall(b, ptype_, masked,
+                          {b.param(0), b.param(1), b.param(2)});
+        b.ret(r);
+    }
+    { // loopback_xmit(sock, ubuf, len)
+        FB b(m_, fn("loopback_xmit"));
+        Reg r = b.call(fn("netif_rx"),
+                       {b.param(0), b.param(1), b.param(2)});
+        b.ret(r);
+    }
+    { // dev_queue_xmit(sock, ubuf, len)
+        FB b(m_, fn("dev_queue_xmit"));
+        Reg skb = b.call(fn("skb_alloc"), {b.param(2)});
+        Reg put = b.call(fn("skb_put"), {skb, b.param(2)});
+        b.sink(put);
+        Reg r = b.call(fn("loopback_xmit"),
+                       {b.param(0), b.param(1), b.param(2)});
+        b.ret(r);
+    }
+    { // unix_rcv(sock, ubuf, len): loopback delivery for AF_UNIX.
+        FB b(m_, fn("unix_rcv"));
+        Reg r = b.call(fn("sock_copy_to_peer"),
+                       {b.param(0), b.param(1), b.param(2)});
+        b.ret(r);
+    }
+    { // tcp_rcv(sock, ubuf, len): receive-side segment processing.
+        FB b(m_, fn("tcp_rcv"));
+        Reg ack = kload(b, b.param(0), 7);
+        Reg nack = b.binImm(BK::kAdd, ack, 1);
+        kstore(b, b.param(0), nack, 7);
+        Reg r = b.call(fn("sock_copy_to_peer"),
+                       {b.param(0), b.param(1), b.param(2)});
+        b.ret(r);
+    }
+    { // udp_rcv(sock, ubuf, len)
+        FB b(m_, fn("udp_rcv"));
+        Reg r = b.call(fn("sock_copy_to_peer"),
+                       {b.param(0), b.param(1), b.param(2)});
+        b.ret(r);
+    }
+    { // sock_poll(sock_off): via the per-protocol op.
+        FB b(m_, fn("sock_poll"));
+        Reg proto_reg = kload(b, b.param(0), 0);
+        Reg scaled = b.binImm(BK::kMul, proto_reg, 8);
+        Reg slot = b.binImm(BK::kAdd, scaled, 4);
+        Reg zero = b.constI(0);
+        Reg r = tableCall(b, proto_ops_, slot,
+                          {b.param(0), zero, zero});
+        b.ret(r);
+    }
+
+    // Shared recvmsg body: drain own rx ring into the user buffer.
+    auto build_recvmsg = [&](const std::string& name, uint32_t extra) {
+        FB b(m_, fn(name));
+        Reg head = kload(b, b.param(0), 3);
+        Reg tail = kload(b, b.param(0), 4);
+        Reg avail = b.bin(BK::kSub, tail, head);
+        Reg want = b.binImm(BK::kAnd, b.param(2), 31);
+        Reg n = b.call(fn("k_min"), {want, avail});
+        countedLoop(b, n, [&](Reg i) {
+            Reg pos = b.bin(BK::kAdd, head, i);
+            Reg slot = b.binImm(BK::kAnd, pos, L::kSockBuf - 1);
+            Reg idx = b.bin(BK::kAdd, b.param(0), slot);
+            Reg v = kload(b, idx, 8);
+            Reg uoff = b.bin(BK::kAdd, b.param(1), i);
+            Reg masked = b.binImm(BK::kAnd, uoff, L::kUserSize - 1);
+            kstore(b, masked, v, L::kUserBase);
+        });
+        Reg nhead = b.bin(BK::kAdd, head, n);
+        kstore(b, b.param(0), nhead, 3);
+        Reg rx = kload(b, b.param(0), 7);
+        Reg nrx = b.binImm(BK::kAdd, rx, 1);
+        kstore(b, b.param(0), nrx, 7);
+        if (extra > 0) {
+            // Protocol bookkeeping (e.g. delayed ack decisions).
+            Reg mixed = emitAluChain(b, nhead, extra);
+            b.sink(mixed);
+        }
+        b.ret(n);
+    };
+
+    // Shared connect body: resolve peer fd -> sock, link both ways.
+    auto build_connect = [&](const std::string& name,
+                             const std::function<void(FB&, Reg)>& extra) {
+        FB b(m_, fn(name));
+        Reg sec = b.call(fn("sec_socket_check"),
+                         {b.param(0), b.param(1)});
+        b.sink(sec);
+        Reg pf = b.call(fn("fd_lookup"), {b.param(1)});
+        Reg bad = b.binImm(BK::kLt, pf, 0);
+        ifThen(b, bad, [&] { b.ret(b.constI(-1)); });
+        Reg psock = kload(b, pf, 6);
+        kstore(b, b.param(0), psock, 2);
+        Reg poff = sock_off_of_index(b, psock);
+        Reg own = sock_index_of_off(b, b.param(0));
+        kstore(b, poff, own, 2);
+        Reg two = b.constI(2);
+        kstore(b, b.param(0), two, 1); // connected
+        kstore(b, poff, two, 1);
+        extra(b, poff);
+        b.ret(b.constI(0));
+    };
+
+    auto build_poll = [&](const std::string& name) {
+        FB b(m_, fn(name));
+        Reg head = kload(b, b.param(0), 3);
+        Reg tail = kload(b, b.param(0), 4);
+        Reg r = b.bin(BK::kLt, head, tail);
+        b.ret(r);
+    };
+
+    // --- af_unix ---
+    {
+        FB b(m_, fn("unix_sendmsg"));
+        Reg r = b.call(fn("sock_copy_to_peer"),
+                       {b.param(0), b.param(1), b.param(2)});
+        b.ret(r);
+    }
+    build_recvmsg("unix_recvmsg", 0);
+    build_connect("unix_connect", [](FB&, Reg) {});
+    { // unix_accept: socketpair-style, nothing to do.
+        FB b(m_, fn("unix_accept"));
+        Reg own = sock_index_of_off(b, b.param(0));
+        b.ret(own);
+    }
+    build_poll("unix_poll");
+
+    // --- tcp ---
+    { // tcp_transmit(sock_off, len): window/cwnd arithmetic.
+        FB b(m_, fn("tcp_transmit"));
+        Reg tx = kload(b, b.param(0), 6);
+        Reg mix = b.bin(BK::kAdd, tx, b.param(1));
+        Reg acc = emitAluChain(b, mix, 10);
+        kstore(b, b.param(0), acc, 6);
+        b.ret(acc);
+    }
+    { // tcp_init_sock(sock_off): congestion state initialization.
+        FB b(m_, fn("tcp_init_sock"));
+        Reg state = kload(b, b.param(0), 1);
+        Reg acc = emitAluChain(b, state, 8);
+        kstore(b, b.param(0), acc, 7);
+        b.ret(b.constI(0));
+    }
+    {
+        FB b(m_, fn("tcp_sendmsg"));
+        Reg cs = b.call(fn("net_checksum"), {b.param(1), b.param(2)});
+        b.sink(cs);
+        Reg t = b.call(fn("tcp_transmit"), {b.param(0), b.param(2)});
+        b.sink(t);
+        Reg r = b.call(fn("dev_queue_xmit"),
+                       {b.param(0), b.param(1), b.param(2)});
+        b.ret(r);
+    }
+    build_recvmsg("tcp_recvmsg", 6);
+    build_connect("tcp_connect", [&](FB& b, Reg poff) {
+        Reg init = b.call(fn("tcp_init_sock"), {b.param(0)});
+        b.sink(init);
+        // Three-way handshake: SYN, SYN-ACK, ACK segments.
+        Reg three = b.constI(3);
+        countedLoop(b, three, [&](Reg i) {
+            Reg t1 = b.call(fn("tcp_transmit"), {b.param(0), i});
+            b.sink(t1);
+            Reg t2 = b.call(fn("tcp_transmit"), {poff, i});
+            b.sink(t2);
+        });
+    });
+    { // tcp_accept(sock, _, _) -> new sock index
+        FB b(m_, fn("tcp_accept"));
+        Reg one = b.constI(1);
+        Reg ns = b.call(fn("sock_alloc"), {one});
+        Reg bad = b.binImm(BK::kLt, ns, 0);
+        ifThen(b, bad, [&] { b.ret(b.constI(-1)); });
+        Reg noff = sock_off_of_index(b, ns);
+        Reg peer = kload(b, b.param(0), 2);
+        kstore(b, noff, peer, 2);
+        Reg t = b.call(fn("tcp_transmit"), {noff, one});
+        b.sink(t);
+        b.ret(ns);
+    }
+    build_poll("tcp_poll");
+
+    // --- udp ---
+    {
+        FB b(m_, fn("udp_sendmsg"));
+        Reg cs = b.call(fn("net_checksum"), {b.param(1), b.param(2)});
+        b.sink(cs);
+        Reg r = b.call(fn("dev_queue_xmit"),
+                       {b.param(0), b.param(1), b.param(2)});
+        b.ret(r);
+    }
+    build_recvmsg("udp_recvmsg", 0);
+    build_connect("udp_connect", [](FB&, Reg) {});
+    { // udp_accept: not supported.
+        FB b(m_, fn("udp_accept"));
+        b.ret(b.constI(-1));
+    }
+    build_poll("udp_poll");
+}
+
+// ---------------------------------------------------------------------
+// Scheduler / tasks
+// ---------------------------------------------------------------------
+
+void
+KernelBuilder::buildSched()
+{
+    // task entry layout: [0]=state [1]=pid [2]=mm_base [3]=sig_pending
+    // [4..7]=creds etc [8..15]=context [16..31]=sig handlers.
+    { // alloc_task() -> task index or -1
+        FB b(m_, fn("alloc_task"));
+        Reg n = b.constI(L::kNumTasks);
+        countedLoop(b, n, [&](Reg i) {
+            Reg nonzero = b.binImm(BK::kGe, i, 1); // task 0 is init
+            ifThen(b, nonzero, [&] {
+                Reg scaled = b.binImm(BK::kMul, i, L::kTaskSize);
+                Reg off = b.binImm(BK::kAdd, scaled, L::kTaskTable);
+                Reg state = kload(b, off, 0);
+                Reg free_slot = b.binImm(BK::kEq, state, 0);
+                ifThen(b, free_slot, [&] { b.ret(i); });
+            });
+        });
+        b.ret(b.constI(-1));
+    }
+    { // copy_task(src_off, dst_off)
+        FB b(m_, fn("copy_task"));
+        Reg n = b.constI(L::kTaskSize);
+        Reg r = b.call(fn("k_memcpy"), {b.param(1), b.param(0), n});
+        b.sink(r);
+        b.ret(b.constI(0));
+    }
+    { // copy_pte_range(src_mm, dst_mm, chunk): copy 8 PTEs.
+        FB b(m_, fn("copy_pte_range"));
+        Reg base = b.binImm(BK::kMul, b.param(2), 8);
+        Reg eight = b.constI(8);
+        countedLoop(b, eight, [&](Reg i) {
+            Reg o = b.bin(BK::kAdd, base, i);
+            Reg s = b.bin(BK::kAdd, b.param(0), o);
+            Reg smask = b.binImm(BK::kAnd, s, L::kNumPtes - 1);
+            Reg v = kload(b, smask, L::kPteTable);
+            Reg d = b.bin(BK::kAdd, b.param(1), o);
+            Reg dmask = b.binImm(BK::kAnd, d, L::kNumPtes - 1);
+            kstore(b, dmask, v, L::kPteTable);
+        });
+        b.ret(b.constI(0));
+    }
+    { // copy_mm(src_off, dst_off): duplicate the 128-PTE window,
+      // range by range (each range a call, as in the real dup_mmap).
+        FB b(m_, fn("copy_mm"));
+        Reg src_mm = kload(b, b.param(0), 2);
+        Reg dst_rel = b.binImm(BK::kSub, b.param(1), L::kTaskTable);
+        Reg dst_task = b.binImm(BK::kDiv, dst_rel, L::kTaskSize);
+        Reg dst_mm = b.binImm(BK::kMul, dst_task, 128);
+        kstore(b, b.param(1), dst_mm, 2);
+        Reg n = b.constI(16);
+        countedLoop(b, n, [&](Reg chunk) {
+            Reg r = b.call(fn("copy_pte_range"),
+                           {src_mm, dst_mm, chunk});
+            b.sink(r);
+        });
+        b.ret(b.constI(0));
+    }
+    { // fd_clone(fd): per-descriptor duplication work.
+        FB b(m_, fn("fd_clone"));
+        Reg file = b.call(fn("fd_lookup"), {b.param(0)});
+        Reg ok = b.binImm(BK::kGe, file, 0);
+        b.ret(ok);
+    }
+    { // copy_files(src_off, dst_off): dup the first 8 descriptors.
+        FB b(m_, fn("copy_files"));
+        Reg eight = b.constI(8);
+        countedLoop(b, eight, [&](Reg i) {
+            Reg r = b.call(fn("fd_clone"), {i});
+            b.sink(r);
+        });
+        b.ret(b.constI(0));
+    }
+    { // context_switch(from_off, to_off)
+        FB b(m_, fn("context_switch"));
+        Reg eight = b.constI(8);
+        countedLoop(b, eight, [&](Reg i) {
+            Reg s = b.bin(BK::kAdd, b.param(0), i);
+            Reg v = kload(b, s, 8);
+            Reg d = b.bin(BK::kAdd, b.param(1), i);
+            kstore(b, d, v, 8);
+        });
+        Reg rel = b.binImm(BK::kSub, b.param(1), L::kTaskTable);
+        Reg idx = b.binImm(BK::kDiv, rel, L::kTaskSize);
+        kstoreAbs(b, L::kCurTask, idx);
+        // Paravirt CR3 write: an inline-assembly hypercall site.
+        Reg two = b.constI(2);
+        Reg mm = kload(b, b.param(1), 2);
+        Reg r = tableCall(b, pv_ops_, two, {mm}, /*is_asm=*/true);
+        b.sink(r);
+        b.ret(b.constI(0));
+    }
+    { // schedule(): round-robin pick of the next runnable task.
+        FB b(m_, fn("schedule"));
+        Reg cur_idx = kloadAbs(b, L::kCurTask);
+        Reg cur_scaled = b.binImm(BK::kMul, cur_idx, L::kTaskSize);
+        Reg cur_off = b.binImm(BK::kAdd, cur_scaled, L::kTaskTable);
+        Reg n = b.constI(L::kNumTasks);
+        countedLoop(b, n, [&](Reg i) {
+            Reg shifted = b.bin(BK::kAdd, cur_idx, i);
+            Reg one = b.constI(1);
+            Reg cand = b.bin(BK::kAdd, shifted, one);
+            Reg masked = b.binImm(BK::kAnd, cand, L::kNumTasks - 1);
+            Reg scaled = b.binImm(BK::kMul, masked, L::kTaskSize);
+            Reg off = b.binImm(BK::kAdd, scaled, L::kTaskTable);
+            Reg state = kload(b, off, 0);
+            Reg runnable = b.binImm(BK::kEq, state, 1);
+            ifThen(b, runnable, [&] {
+                Reg same = b.bin(BK::kEq, off, cur_off);
+                Reg differs = b.binImm(BK::kEq, same, 0);
+                ifThen(b, differs, [&] {
+                    Reg r = b.call(fn("context_switch"),
+                                   {cur_off, off});
+                    b.sink(r);
+                });
+                b.ret(b.constI(0));
+            });
+        });
+        b.ret(b.constI(0));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory management
+// ---------------------------------------------------------------------
+
+void
+KernelBuilder::buildMm()
+{
+    { // find_vma(addr) -> vma offset or -1. The scan is bounded to the
+      // first 32 slots (an rbtree in the real kernel; a full-table
+      // scan would dominate the fault path's cost unrealistically).
+        FB b(m_, fn("find_vma"));
+        Reg n = b.constI(32);
+        countedLoop(b, n, [&](Reg i) {
+            Reg scaled = b.binImm(BK::kMul, i, L::kVmaSize);
+            Reg off = b.binImm(BK::kAdd, scaled, L::kVmaTable);
+            Reg in_use = kload(b, off, 3);
+            ifThen(b, in_use, [&] {
+                Reg start = kload(b, off, 0);
+                Reg end = kload(b, off, 1);
+                Reg ge = b.bin(BK::kGe, b.param(0), start);
+                Reg lt = b.bin(BK::kLt, b.param(0), end);
+                Reg hit = b.bin(BK::kAnd, ge, lt);
+                ifThen(b, hit, [&] { b.ret(off); });
+            });
+        });
+        b.ret(b.constI(-1));
+    }
+    { // vma_merge_check(addr, len): can the mapping merge a neighbor?
+        FB b(m_, fn("vma_merge_check"));
+        Reg end = b.bin(BK::kAdd, b.param(0), b.param(1));
+        Reg prev = b.call(fn("find_vma"), {b.binImm(BK::kSub,
+                                                    b.param(0), 1)});
+        Reg next = b.call(fn("find_vma"), {end});
+        Reg both = b.bin(BK::kOr, prev, next);
+        Reg mergeable = b.binImm(BK::kGe, both, 0);
+        b.ret(mergeable);
+    }
+    { // pte_walk(addr): 4-level page-table walk.
+        FB b(m_, fn("pte_walk"));
+        Reg acc = b.newReg();
+        b.setReg(acc, b.param(0));
+        for (int level = 0; level < 4; ++level) {
+            Reg shifted = b.binImm(BK::kShr, acc, 3 + level);
+            Reg masked = b.binImm(BK::kAnd, shifted, L::kNumPtes - 1);
+            Reg v = kload(b, masked, L::kPteTable);
+            Reg mixed = b.bin(BK::kXor, v, acc);
+            b.setReg(acc, mixed);
+        }
+        Reg pte = b.binImm(BK::kAnd, b.param(0), L::kNumPtes - 1);
+        b.sink(acc);
+        b.ret(pte);
+    }
+    { // alloc_page_frame(hint): buddy-allocator flavored scan.
+        FB b(m_, fn("alloc_page_frame"));
+        Reg h = b.call(fn("k_hash"), {b.param(0)});
+        Reg iters = b.constI(6);
+        Reg frame = b.newReg();
+        b.setReg(frame, h);
+        countedLoop(b, iters, [&](Reg i) {
+            Reg mix = b.bin(BK::kAdd, frame, i);
+            Reg idx = b.binImm(BK::kAnd, mix, L::kNumPages - 1);
+            Reg v = kload(b, idx, L::kPageCache);
+            Reg mixed = b.bin(BK::kXor, frame, v);
+            b.setReg(frame, mixed);
+        });
+        Reg page = b.binImm(BK::kAnd, frame, L::kNumPages - 1);
+        b.ret(page);
+    }
+    { // flush_mm(task_off): clear the task's PTE window.
+        FB b(m_, fn("flush_mm"));
+        Reg mm = kload(b, b.param(0), 2);
+        Reg mmask = b.binImm(BK::kAnd, mm, L::kNumPtes - 1);
+        Reg base = b.binImm(BK::kAdd, mmask, L::kPteTable);
+        Reg zero = b.constI(0);
+        Reg n = b.constI(128);
+        Reg r = b.call(fn("k_memset"), {base, zero, n});
+        b.sink(r);
+        b.ret(b.constI(0));
+    }
+    { // load_binary(task_off, ino): populate PTEs from page cache.
+        FB b(m_, fn("load_binary"));
+        Reg mm = kload(b, b.param(0), 2);
+        Reg n = b.constI(128);
+        countedLoop(b, n, [&](Reg i) {
+            Reg mix = b.bin(BK::kAdd, b.param(1), i);
+            Reg pmask = b.binImm(BK::kAnd, mix,
+                                 L::kNumPages * L::kPageWords - 1);
+            Reg v = kload(b, pmask, L::kPageCache);
+            Reg pte = b.bin(BK::kAdd, mm, i);
+            Reg ptem = b.binImm(BK::kAnd, pte, L::kNumPtes - 1);
+            Reg tag = b.binImm(BK::kOr, v, 1);
+            kstore(b, ptem, tag, L::kPteTable);
+        });
+        b.ret(b.constI(0));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Signals
+// ---------------------------------------------------------------------
+
+void
+KernelBuilder::buildSignals()
+{
+    { // do_signal(task_off): deliver all pending signals.
+        FB b(m_, fn("do_signal"));
+        useLocals(b, b.param(0), 2);
+        Reg pending = kload(b, b.param(0), 3);
+        Reg none = b.binImm(BK::kEq, pending, 0);
+        ifThen(b, none, [&] { b.ret(b.constI(0)); });
+        Reg n = b.constI(L::kNumSigs);
+        countedLoop(b, n, [&](Reg i) {
+            Reg one = b.constI(1);
+            Reg mask = b.bin(BK::kShl, one, i);
+            Reg hit = b.bin(BK::kAnd, pending, mask);
+            ifThen(b, hit, [&] {
+                Reg hslot = b.bin(BK::kAdd, b.param(0), i);
+                Reg hidx = kload(b, hslot, 16);
+                Reg hmask = b.binImm(BK::kAnd, hidx, 3);
+                Reg target = b.load(sig_table_, hmask, 0);
+                Reg r = b.icall(target, {i});
+                b.sink(r);
+            });
+        });
+        Reg zero = b.constI(0);
+        kstore(b, b.param(0), zero, 3);
+        b.ret(b.constI(1));
+    }
+    { // usr_sig_ignore(sig)
+        FB b(m_, fn("usr_sig_ignore"));
+        b.ret(b.param(0));
+    }
+    { // usr_sig_count(sig): bump a user-visible counter.
+        FB b(m_, fn("usr_sig_count"));
+        Reg c = kloadAbs(b, L::kUserBase + 100);
+        Reg nc = b.binImm(BK::kAdd, c, 1);
+        kstoreAbs(b, L::kUserBase + 100, nc);
+        b.ret(nc);
+    }
+    { // usr_sig_term(sig)
+        FB b(m_, fn("usr_sig_term"));
+        Reg one = b.constI(1);
+        kstoreAbs(b, L::kUserBase + 101, one);
+        b.ret(one);
+    }
+    { // usr_sig_custom(sig): small handler loop.
+        FB b(m_, fn("usr_sig_custom"));
+        Reg four = b.constI(4);
+        Reg acc = b.newReg();
+        b.setRegConst(acc, 0);
+        countedLoop(b, four, [&](Reg i) {
+            Reg mix = b.bin(BK::kAdd, b.param(0), i);
+            Reg h = emitAluChain(b, mix, 3);
+            Reg sum = b.bin(BK::kAdd, acc, h);
+            b.setReg(acc, sum);
+        });
+        kstoreAbs(b, L::kUserBase + 102, acc);
+        b.ret(acc);
+    }
+}
+
+// ---------------------------------------------------------------------
+// IRQ / trap dispatch (assembly switches) and paravirt ops
+// ---------------------------------------------------------------------
+
+void
+KernelBuilder::buildIrqTrap()
+{
+    // Paravirt leaf hypercalls.
+    for (const char* name : {"pv_flush_tlb_one", "pv_flush_tlb_all",
+                             "pv_write_cr3", "pv_io_delay"}) {
+        FB b(m_, fn(name));
+        Reg mixed = emitAluChain(b, b.param(0), 4);
+        kstoreAbs(b, L::kScalars + 12, mixed);
+        b.ret(b.constI(0));
+    }
+
+    { // trap_divide(code)
+        FB b(m_, fn("trap_divide"));
+        Reg mixed = emitAluChain(b, b.param(0), 5);
+        b.sink(mixed);
+        b.ret(b.constI(-1));
+    }
+    { // trap_gp(code)
+        FB b(m_, fn("trap_gp"));
+        Reg r = b.call(fn("k_panic"), {b.param(0)});
+        b.ret(r);
+    }
+    { // trap_nmi(code)
+        FB b(m_, fn("trap_nmi"));
+        Reg j = kloadAbs(b, L::kJiffies);
+        Reg mixed = b.bin(BK::kXor, j, b.param(0));
+        kstoreAbs(b, L::kScalars + 13, mixed);
+        b.ret(b.constI(0));
+    }
+    { // trap_pf(addr): the page-fault slow path.
+        FB b(m_, fn("trap_pf"));
+        useLocals(b, b.param(0), 2);
+        Reg vma = b.call(fn("find_vma"), {b.param(0)});
+        Reg bad = b.binImm(BK::kLt, vma, 0);
+        ifThen(b, bad, [&] { b.ret(b.constI(-1)); }); // SIGSEGV-ish
+        Reg pte = b.call(fn("pte_walk"), {b.param(0)});
+        Reg frame = b.call(fn("alloc_page_frame"), {b.param(0)});
+        Reg one = b.constI(1);
+        Reg entry = b.bin(BK::kOr, frame, one);
+        kstore(b, pte, entry, L::kPteTable);
+        b.sink(one);
+        // Paravirt single-page TLB flush (inline asm site).
+        Reg zero = b.constI(0);
+        Reg r = tableCall(b, pv_ops_, zero, {b.param(0)},
+                          /*is_asm=*/true);
+        b.sink(r);
+        b.ret(b.constI(0));
+    }
+    { // mce_handler(code)
+        FB b(m_, fn("mce_handler"));
+        Reg five = b.constI(5);
+        Reg r = b.newReg();
+        b.setRegConst(r, 0);
+        ir::BlockId done = b.newBlock();
+        ir::BlockId c0 = b.newBlock();
+        ir::BlockId c1 = b.newBlock();
+        Reg sel = b.binImm(BK::kAnd, b.param(0), 7);
+        // Assembly-coded machine-check bank dispatch.
+        b.switchOn(sel, done, {{0, c0}, {1, c1}}, /*is_asm=*/true);
+        b.setBlock(c0);
+        b.setRegConst(r, 10);
+        b.br(done);
+        b.setBlock(c1);
+        b.setRegConst(r, 11);
+        b.br(done);
+        b.setBlock(done);
+        b.sink(five);
+        b.ret(r);
+    }
+    { // do_trap(nr, a, b): assembly-coded IDT-style dispatch.
+        FB b(m_, fn("do_trap"));
+        Reg sel = b.binImm(BK::kAnd, b.param(0), 7);
+        ir::BlockId dflt = b.newBlock();
+        ir::BlockId divide = b.newBlock();
+        ir::BlockId gp = b.newBlock();
+        ir::BlockId nmi = b.newBlock();
+        ir::BlockId pf = b.newBlock();
+        b.switchOn(sel, dflt,
+                   {{0, divide}, {1, gp}, {2, nmi}, {3, pf}},
+                   /*is_asm=*/true);
+        b.setBlock(divide);
+        {
+            Reg r = b.call(fn("trap_divide"), {b.param(1)});
+            b.ret(r);
+        }
+        b.setBlock(gp);
+        {
+            Reg r = b.call(fn("trap_gp"), {b.param(1)});
+            b.ret(r);
+        }
+        b.setBlock(nmi);
+        {
+            Reg r = b.call(fn("trap_nmi"), {b.param(1)});
+            b.ret(r);
+        }
+        b.setBlock(pf);
+        {
+            Reg r = b.call(fn("trap_pf"), {b.param(1)});
+            b.ret(r);
+        }
+        b.setBlock(dflt);
+        {
+            Reg r = b.call(fn("mce_handler"), {b.param(0)});
+            b.ret(r);
+        }
+    }
+    { // irq_timer()
+        FB b(m_, fn("irq_timer"));
+        Reg j = kloadAbs(b, L::kJiffies);
+        Reg nj = b.binImm(BK::kAdd, j, 1);
+        kstoreAbs(b, L::kJiffies, nj);
+        b.ret(b.constI(0));
+    }
+    { // irq_net()
+        FB b(m_, fn("irq_net"));
+        Reg one = b.constI(1);
+        kstoreAbs(b, L::kSoftirqPending, one);
+        b.ret(one);
+    }
+    { // irq_disk()
+        FB b(m_, fn("irq_disk"));
+        Reg j = kloadAbs(b, L::kJiffies);
+        Reg mixed = emitAluChain(b, j, 4);
+        kstoreAbs(b, L::kScalars + 14, mixed);
+        b.ret(b.constI(0));
+    }
+    { // irq_dispatch(vec, a, b): assembly-coded vector dispatch.
+        FB b(m_, fn("irq_dispatch"));
+        Reg sel = b.binImm(BK::kAnd, b.param(0), 3);
+        ir::BlockId dflt = b.newBlock();
+        ir::BlockId timer = b.newBlock();
+        ir::BlockId net = b.newBlock();
+        ir::BlockId disk = b.newBlock();
+        b.switchOn(sel, dflt, {{0, timer}, {1, net}, {2, disk}},
+                   /*is_asm=*/true);
+        b.setBlock(timer);
+        {
+            Reg r = b.call(fn("irq_timer"), {});
+            b.ret(r);
+        }
+        b.setBlock(net);
+        {
+            Reg r = b.call(fn("irq_net"), {});
+            b.ret(r);
+        }
+        b.setBlock(disk);
+        {
+            Reg r = b.call(fn("irq_disk"), {});
+            b.ret(r);
+        }
+        b.setBlock(dflt);
+        b.ret(b.constI(0)); // spurious
+    }
+    { // emergency_restart(code): assembly-coded reboot vector table.
+        FB b(m_, fn("emergency_restart"));
+        Reg sel = b.binImm(BK::kAnd, b.param(0), 3);
+        ir::BlockId dflt = b.newBlock();
+        ir::BlockId warm = b.newBlock();
+        ir::BlockId cold = b.newBlock();
+        b.switchOn(sel, dflt, {{0, warm}, {1, cold}}, /*is_asm=*/true);
+        b.setBlock(warm);
+        b.ret(b.constI(1));
+        b.setBlock(cold);
+        b.ret(b.constI(2));
+        b.setBlock(dflt);
+        b.ret(b.constI(0));
+    }
+    { // acpi_event(ev): assembly-coded ACPI GPE dispatch.
+        FB b(m_, fn("acpi_event"));
+        Reg sel = b.binImm(BK::kAnd, b.param(0), 3);
+        ir::BlockId dflt = b.newBlock();
+        ir::BlockId button = b.newBlock();
+        ir::BlockId thermal = b.newBlock();
+        b.switchOn(sel, dflt, {{0, button}, {1, thermal}},
+                   /*is_asm=*/true);
+        b.setBlock(button);
+        {
+            Reg one = b.constI(1);
+            kstoreAbs(b, L::kScalars + 15, one);
+            b.ret(one);
+        }
+        b.setBlock(thermal);
+        {
+            Reg j = kloadAbs(b, L::kJiffies);
+            Reg mixed = emitAluChain(b, j, 3);
+            b.ret(mixed);
+        }
+        b.setBlock(dflt);
+        b.ret(b.constI(0));
+    }
+    { // run_softirq(budget)
+        FB b(m_, fn("run_softirq"));
+        Reg zero = b.constI(0);
+        kstoreAbs(b, L::kSoftirqPending, zero);
+        Reg t = b.call(fn("irq_dispatch"), {zero, zero, zero});
+        b.sink(t);
+        Reg j = kloadAbs(b, L::kJiffies);
+        // Occasionally service ACPI events.
+        Reg acpi_due = b.binImm(BK::kAnd, j, 1023);
+        Reg is_due = b.binImm(BK::kEq, acpi_due, 0);
+        ifThen(b, is_due, [&] {
+            Reg r = b.call(fn("acpi_event"), {j});
+            b.sink(r);
+        });
+        Reg h = b.call(fn("k_hash"), {j});
+        // Device activity is heavy-tailed: a few devices (disk, nic)
+        // dominate while most are nearly idle. Cubic skew over the
+        // hash gives the site-weight distribution its long tail.
+        Reg frac = b.binImm(BK::kAnd, h, 4095);
+        Reg frac2 = b.bin(BK::kMul, frac, frac);
+        Reg frac3 = b.bin(BK::kMul, frac2, frac);
+        Reg scaled = b.binImm(
+            BK::kMul, b.binImm(BK::kShr, frac3, 24),
+            static_cast<int64_t>(cfg_.num_drivers));
+        Reg d = b.binImm(BK::kShr, scaled, 12);
+        Reg r = b.call(fn("driver_dispatch"), {d, j, b.param(0)});
+        b.sink(r);
+        b.ret(b.constI(0));
+    }
+    // driver_dispatch is emitted in buildDrivers() (needs the ids).
+}
+
+// ---------------------------------------------------------------------
+// Syscall machinery
+// ---------------------------------------------------------------------
+
+void
+KernelBuilder::buildSyscalls()
+{
+    { // syscall_entry(): entry prologue — swapgs, stack switch, spec
+      // control writes, ptregs save. Real kernels burn a fixed ~100+
+      // cycles here, which is why `null` is not free.
+        FB b(m_, fn("syscall_entry"));
+        uint32_t slot = b.newFrameSlot();
+        Reg j = kloadAbs(b, L::kJiffies);
+        Reg mixed = emitAluChain(b, j, 24);
+        b.frameStore(slot, mixed);
+        // ptregs save/restore model: a short fixed loop of stores.
+        Reg iters = b.constI(10);
+        countedLoop(b, iters, [&](Reg i) {
+            Reg v = b.bin(BK::kAdd, mixed, i);
+            Reg idx = b.binImm(BK::kAnd, v, 31);
+            kstore(b, idx, v, L::kScalars + 32); // ptregs scratch area
+        });
+        Reg back = b.frameLoad(slot);
+        Reg flags = b.binImm(BK::kAnd, back, 0xff);
+        b.ret(flags);
+    }
+    { // syscall_exit_work(): exit bookkeeping, softirqs, signals.
+        FB b(m_, fn("syscall_exit_work"));
+        Reg j = kloadAbs(b, L::kJiffies);
+        Reg nj = b.binImm(BK::kAdd, j, 1);
+        kstoreAbs(b, L::kJiffies, nj);
+        Reg tick = b.binImm(BK::kAnd, nj, 15);
+        Reg due = b.binImm(BK::kEq, tick, 0);
+        ifThen(b, due, [&] {
+            Reg one = b.constI(1);
+            kstoreAbs(b, L::kSoftirqPending, one);
+        });
+        Reg trace_tick = b.binImm(BK::kAnd, nj, 255);
+        Reg trace_due = b.binImm(BK::kEq, trace_tick, 0);
+        ifThen(b, trace_due, [&] {
+            Reg r = b.call(fn("debug_trace"), {nj});
+            b.sink(r);
+        });
+        // Audit record for one syscall in four: a hot call site whose
+        // callee is too big to inline (Rule 3 territory).
+        Reg audit_tick = b.binImm(BK::kAnd, nj, 3);
+        Reg audit_due = b.binImm(BK::kEq, audit_tick, 0);
+        ifThen(b, audit_due, [&] {
+            Reg r = b.call(fn("audit_syscall"), {nj});
+            b.sink(r);
+        });
+        Reg pending = kloadAbs(b, L::kSoftirqPending);
+        ifThen(b, pending, [&] {
+            Reg two = b.constI(2);
+            Reg r = b.call(fn("run_softirq"), {two});
+            b.sink(r);
+        });
+        Reg cur = b.call(fn("k_current"), {});
+        Reg sig = kload(b, cur, 3);
+        ifThen(b, sig, [&] {
+            Reg r = b.call(fn("do_signal"), {cur});
+            b.sink(r);
+        });
+        Reg rcu = b.call(fn("rcu_note_context_switch"), {nj});
+        b.sink(rcu);
+        Reg r = b.call(fn("k_cond_resched"), {});
+        b.sink(r);
+        b.ret(b.constI(0));
+    }
+    { // sys_ni
+        FB b(m_, fn("sys_ni"));
+        b.ret(b.constI(-1));
+    }
+    { // sys_null: getppid-style.
+        FB b(m_, fn("sys_null"));
+        Reg cur = b.call(fn("k_current"), {});
+        Reg pid = kload(b, cur, 1);
+        b.ret(pid);
+    }
+    { // sys_read(fd, ubuf, len)
+        FB b(m_, fn("sys_read"));
+        Reg file = b.call(fn("fdget"), {b.param(0)});
+        Reg bad = b.binImm(BK::kLt, file, 0);
+        ifThen(b, bad, [&] { b.ret(b.constI(-1)); });
+        Reg r = b.call(fn("vfs_read"), {file, b.param(1), b.param(2)});
+        Reg n = b.call(fn("fsnotify_access"), {file});
+        b.sink(n);
+        Reg p = b.call(fn("fdput"), {file});
+        b.sink(p);
+        b.ret(r);
+    }
+    { // sys_write(fd, ubuf, len)
+        FB b(m_, fn("sys_write"));
+        Reg file = b.call(fn("fdget"), {b.param(0)});
+        Reg bad = b.binImm(BK::kLt, file, 0);
+        ifThen(b, bad, [&] { b.ret(b.constI(-1)); });
+        Reg r = b.call(fn("vfs_write"), {file, b.param(1), b.param(2)});
+        Reg n = b.call(fn("fsnotify_modify"), {file});
+        b.sink(n);
+        Reg p = b.call(fn("fdput"), {file});
+        b.sink(p);
+        b.ret(r);
+    }
+    { // sys_open(path_hash, flags, _)
+        FB b(m_, fn("sys_open"));
+        Reg r = b.call(fn("vfs_open"), {b.param(0), b.param(1)});
+        b.ret(r);
+    }
+    { // sys_close(fd, _, _)
+        FB b(m_, fn("sys_close"));
+        Reg r = b.call(fn("vfs_close"), {b.param(0)});
+        b.ret(r);
+    }
+    { // sys_stat(path_hash, ubuf, _)
+        FB b(m_, fn("sys_stat"));
+        Reg r = b.call(fn("vfs_stat"), {b.param(0), b.param(1)});
+        b.ret(r);
+    }
+    { // sys_fstat(fd, ubuf, _)
+        FB b(m_, fn("sys_fstat"));
+        Reg r = b.call(fn("vfs_fstat"), {b.param(0), b.param(1)});
+        b.ret(r);
+    }
+    { // sys_lseek(fd, pos, _)
+        FB b(m_, fn("sys_lseek"));
+        Reg r = b.call(fn("vfs_lseek"), {b.param(0), b.param(1)});
+        b.ret(r);
+    }
+    { // sys_pipe(_, _, _) -> rfd | (wfd << 16)
+        FB b(m_, fn("sys_pipe"));
+        Reg p = b.call(fn("pipe_alloc"), {});
+        Reg bad = b.binImm(BK::kLt, p, 0);
+        ifThen(b, bad, [&] { b.ret(b.constI(-1)); });
+        Reg rfd = b.call(fn("alloc_fd"), {});
+        Reg wfd = b.call(fn("alloc_fd"), {});
+        Reg either_neg = b.bin(BK::kOr, b.binImm(BK::kLt, rfd, 0),
+                               b.binImm(BK::kLt, wfd, 0));
+        ifThen(b, either_neg, [&] { b.ret(b.constI(-1)); });
+        Reg fs = b.constI(fstype::kPipefs);
+        Reg kind = b.constI(2);
+        for (Reg fd : {rfd, wfd}) {
+            Reg scaled = b.binImm(BK::kMul, fd, L::kFdSize);
+            Reg off = b.binImm(BK::kAdd, scaled, L::kFdTable);
+            kstore(b, off, fs, 1);
+            kstore(b, off, kind, 5);
+            kstore(b, off, p, 6);
+        }
+        Reg hi = b.binImm(BK::kShl, wfd, 16);
+        Reg packed = b.bin(BK::kOr, rfd, hi);
+        b.ret(packed);
+    }
+    { // sys_select(nfds, fdbase, _)
+        FB b(m_, fn("sys_select"));
+        Reg nfds = b.binImm(BK::kAnd, b.param(0), L::kNumFds - 1);
+        Reg count = b.newReg();
+        b.setRegConst(count, 0);
+        countedLoop(b, nfds, [&](Reg i) {
+            Reg uoff = b.bin(BK::kAdd, b.param(1), i);
+            Reg masked = b.binImm(BK::kAnd, uoff, L::kUserSize - 1);
+            Reg fd = kload(b, masked, L::kUserBase);
+            Reg file = b.call(fn("fd_lookup"), {fd});
+            Reg ok = b.binImm(BK::kGe, file, 0);
+            ifThen(b, ok, [&] {
+                Reg r = b.call(fn("vfs_poll"), {file});
+                Reg sum = b.bin(BK::kAdd, count, r);
+                b.setReg(count, sum);
+            });
+        });
+        b.ret(count);
+    }
+    { // sys_socket(proto, _, _)
+        FB b(m_, fn("sys_socket"));
+        Reg s = b.call(fn("sock_alloc"), {b.param(0)});
+        Reg bad = b.binImm(BK::kLt, s, 0);
+        ifThen(b, bad, [&] { b.ret(b.constI(-1)); });
+        Reg fd = b.call(fn("alloc_fd"), {});
+        Reg nofd = b.binImm(BK::kLt, fd, 0);
+        ifThen(b, nofd, [&] { b.ret(b.constI(-1)); });
+        Reg scaled = b.binImm(BK::kMul, fd, L::kFdSize);
+        Reg off = b.binImm(BK::kAdd, scaled, L::kFdTable);
+        Reg fs = b.constI(fstype::kSockfs);
+        Reg kind = b.constI(3);
+        kstore(b, off, fs, 1);
+        kstore(b, off, kind, 5);
+        kstore(b, off, s, 6);
+        b.ret(fd);
+    }
+    // Shared: resolve fd -> sock offset, then invoke a proto op.
+    auto sock_syscall = [&](const std::string& name, int64_t op,
+                            bool ret_fd_for_accept) {
+        FB b(m_, fn(name));
+        Reg file = b.call(fn("fd_lookup"), {b.param(0)});
+        Reg bad = b.binImm(BK::kLt, file, 0);
+        ifThen(b, bad, [&] { b.ret(b.constI(-1)); });
+        Reg s = kload(b, file, 6);
+        Reg smask = b.binImm(BK::kAnd, s, L::kNumSocks - 1);
+        Reg sscaled = b.binImm(BK::kMul, smask, L::kSockSize);
+        Reg soff = b.binImm(BK::kAdd, sscaled, L::kSockTable);
+        Reg proto_reg = kload(b, soff, 0);
+        Reg pscaled = b.binImm(BK::kMul, proto_reg, 8);
+        Reg slot = b.binImm(BK::kAdd, pscaled, op);
+        Reg r = tableCall(b, proto_ops_, slot,
+                          {soff, b.param(1), b.param(2)});
+        if (!ret_fd_for_accept) {
+            b.ret(r);
+            return;
+        }
+        // accept: wrap the new sock in a fresh fd.
+        Reg failed = b.binImm(BK::kLt, r, 0);
+        ifThen(b, failed, [&] { b.ret(b.constI(-1)); });
+        Reg nfd = b.call(fn("alloc_fd"), {});
+        Reg nofd = b.binImm(BK::kLt, nfd, 0);
+        ifThen(b, nofd, [&] { b.ret(b.constI(-1)); });
+        Reg fscaled = b.binImm(BK::kMul, nfd, L::kFdSize);
+        Reg foff = b.binImm(BK::kAdd, fscaled, L::kFdTable);
+        Reg fs = b.constI(fstype::kSockfs);
+        Reg kind = b.constI(3);
+        kstore(b, foff, fs, 1);
+        kstore(b, foff, kind, 5);
+        kstore(b, foff, r, 6);
+        b.ret(nfd);
+    };
+    sock_syscall("sys_connect", 2, false);
+    sock_syscall("sys_accept", 3, true);
+    sock_syscall("sys_send", 0, false);
+    sock_syscall("sys_recv", 1, false);
+    { // sys_fork(_, _, _) -> child pid
+        FB b(m_, fn("sys_fork"));
+        useLocals(b, b.param(0), 4);
+        Reg cur = b.call(fn("k_current"), {});
+        Reg t = b.call(fn("alloc_task"), {});
+        Reg bad = b.binImm(BK::kLt, t, 0);
+        ifThen(b, bad, [&] { b.ret(b.constI(-1)); });
+        Reg scaled = b.binImm(BK::kMul, t, L::kTaskSize);
+        Reg off = b.binImm(BK::kAdd, scaled, L::kTaskTable);
+        Reg r1 = b.call(fn("copy_task"), {cur, off});
+        b.sink(r1);
+        Reg r2 = b.call(fn("copy_mm"), {cur, off});
+        b.sink(r2);
+        Reg r3 = b.call(fn("copy_files"), {cur, off});
+        b.sink(r3);
+        Reg pid = kloadAbs(b, L::kNextPid);
+        Reg npid = b.binImm(BK::kAdd, pid, 1);
+        kstoreAbs(b, L::kNextPid, npid);
+        kstore(b, off, pid, 1);
+        Reg one = b.constI(1);
+        kstore(b, off, one, 0); // runnable
+        // Paravirt hypercall (inline asm): install child CR3.
+        Reg two = b.constI(2);
+        Reg mm = kload(b, off, 2);
+        Reg pv = tableCall(b, pv_ops_, two, {mm}, /*is_asm=*/true);
+        b.sink(pv);
+        b.ret(pid);
+    }
+    { // sys_exec(path_hash, _, _)
+        FB b(m_, fn("sys_exec"));
+        Reg ino = b.call(fn("path_lookup"), {b.param(0)});
+        Reg bad = b.binImm(BK::kLt, ino, 0);
+        ifThen(b, bad, [&] { b.ret(b.constI(-1)); });
+        Reg cur = b.call(fn("k_current"), {});
+        Reg r1 = b.call(fn("flush_mm"), {cur});
+        b.sink(r1);
+        Reg r2 = b.call(fn("load_binary"), {cur, ino});
+        b.sink(r2);
+        Reg sp = emitAluChain(b, ino, 8); // stack/arg setup
+        kstore(b, cur, sp, 9);
+        // Paravirt full TLB flush (inline asm).
+        Reg one = b.constI(1);
+        Reg pv = tableCall(b, pv_ops_, one, {sp}, /*is_asm=*/true);
+        b.sink(pv);
+        b.ret(b.constI(0));
+    }
+    { // sys_exit(pid, _, _): reap the task with this pid (or current).
+        FB b(m_, fn("sys_exit"));
+        Reg n = b.constI(L::kNumTasks);
+        countedLoop(b, n, [&](Reg i) {
+            Reg nonzero = b.binImm(BK::kGe, i, 1);
+            ifThen(b, nonzero, [&] {
+                Reg scaled = b.binImm(BK::kMul, i, L::kTaskSize);
+                Reg off = b.binImm(BK::kAdd, scaled, L::kTaskTable);
+                Reg pid = kload(b, off, 1);
+                Reg match = b.bin(BK::kEq, pid, b.param(0));
+                Reg state = kload(b, off, 0);
+                Reg live = b.binImm(BK::kGe, state, 1);
+                Reg hit = b.bin(BK::kAnd, match, live);
+                ifThen(b, hit, [&] {
+                    Reg zero = b.constI(0);
+                    kstore(b, off, zero, 0);
+                    kstore(b, off, zero, 1);
+                    Reg r = b.call(fn("flush_mm"), {off});
+                    b.sink(r);
+                    b.ret(b.constI(0));
+                });
+            });
+        });
+        b.ret(b.constI(-1));
+    }
+    { // sys_mmap(addr, len, _)
+        FB b(m_, fn("sys_mmap"));
+        Reg merge = b.call(fn("vma_merge_check"),
+                           {b.param(0), b.param(1)});
+        b.sink(merge);
+        Reg n = b.constI(32);
+        countedLoop(b, n, [&](Reg i) {
+            Reg scaled = b.binImm(BK::kMul, i, L::kVmaSize);
+            Reg off = b.binImm(BK::kAdd, scaled, L::kVmaTable);
+            Reg in_use = kload(b, off, 3);
+            Reg free_slot = b.binImm(BK::kEq, in_use, 0);
+            ifThen(b, free_slot, [&] {
+                kstore(b, off, b.param(0), 0);
+                Reg end = b.bin(BK::kAdd, b.param(0), b.param(1));
+                kstore(b, off, end, 1);
+                Reg flags = b.constI(3);
+                kstore(b, off, flags, 2);
+                Reg one = b.constI(1);
+                kstore(b, off, one, 3);
+                b.ret(b.param(0));
+            });
+        });
+        b.ret(b.constI(-1));
+    }
+    { // sys_munmap(addr, len, _)
+        FB b(m_, fn("sys_munmap"));
+        Reg vma = b.call(fn("find_vma"), {b.param(0)});
+        Reg bad = b.binImm(BK::kLt, vma, 0);
+        ifThen(b, bad, [&] { b.ret(b.constI(-1)); });
+        Reg zero = b.constI(0);
+        kstore(b, vma, zero, 3);
+        // Clear up to 16 PTEs under the unmapped range.
+        Reg len = b.binImm(BK::kAnd, b.param(1), 15);
+        countedLoop(b, len, [&](Reg i) {
+            Reg a = b.bin(BK::kAdd, b.param(0), i);
+            Reg pte = b.binImm(BK::kAnd, a, L::kNumPtes - 1);
+            kstore(b, pte, zero, L::kPteTable);
+        });
+        // Paravirt ranged TLB flush (inline asm).
+        Reg pv = tableCall(b, pv_ops_, zero, {b.param(0)},
+                           /*is_asm=*/true);
+        b.sink(pv);
+        b.ret(zero);
+    }
+    { // sys_pagefault(addr, _, _): fault injection entry.
+        FB b(m_, fn("sys_pagefault"));
+        Reg three = b.constI(3);
+        Reg zero = b.constI(0);
+        Reg r = b.call(fn("do_trap"), {three, b.param(0), zero});
+        b.ret(r);
+    }
+    { // sys_sigaction(sig, handler_idx, _)
+        FB b(m_, fn("sys_sigaction"));
+        Reg cur = b.call(fn("k_current"), {});
+        Reg sig = b.binImm(BK::kAnd, b.param(0), L::kNumSigs - 1);
+        Reg slot = b.bin(BK::kAdd, cur, sig);
+        Reg idx = b.binImm(BK::kAnd, b.param(1), 3);
+        kstore(b, slot, idx, 16);
+        b.ret(b.constI(0));
+    }
+    { // sys_kill(pid, sig, _)
+        FB b(m_, fn("sys_kill"));
+        Reg sig = b.binImm(BK::kAnd, b.param(1), L::kNumSigs - 1);
+        Reg one = b.constI(1);
+        Reg mask = b.bin(BK::kShl, one, sig);
+        Reg n = b.constI(L::kNumTasks);
+        countedLoop(b, n, [&](Reg i) {
+            Reg scaled = b.binImm(BK::kMul, i, L::kTaskSize);
+            Reg off = b.binImm(BK::kAdd, scaled, L::kTaskTable);
+            Reg pid = kload(b, off, 1);
+            Reg match = b.bin(BK::kEq, pid, b.param(0));
+            ifThen(b, match, [&] {
+                Reg pending = kload(b, off, 3);
+                Reg np = b.bin(BK::kOr, pending, mask);
+                kstore(b, off, np, 3);
+                b.ret(b.constI(0));
+            });
+        });
+        b.ret(b.constI(-1));
+    }
+    { // sys_yield(_, _, _)
+        FB b(m_, fn("sys_yield"));
+        Reg r = b.call(fn("schedule"), {});
+        b.ret(r);
+    }
+    { // sys_getpid(_, _, _)
+        FB b(m_, fn("sys_getpid"));
+        Reg cur = b.call(fn("k_current"), {});
+        Reg pid = kload(b, cur, 1);
+        b.ret(pid);
+    }
+    { // sys_dispatch(nr, a0, a1, a2): THE kernel entry point.
+        FB b(m_, fn("sys_dispatch"));
+        Reg e = b.call(fn("syscall_entry"), {});
+        b.sink(e);
+        Reg allow = b.call(fn("seccomp_filter"), {b.param(0)});
+        Reg denied = b.binImm(BK::kEq, allow, 0);
+        ifThen(b, denied, [&] { b.ret(b.constI(-1)); });
+        Reg nr = b.binImm(BK::kAnd, b.param(0), 31);
+        Reg r = tableCall(b, sys_table_, nr,
+                          {b.param(1), b.param(2), b.param(3)});
+        Reg x = b.call(fn("syscall_exit_work"), {});
+        b.sink(x);
+        b.ret(r);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Boot
+// ---------------------------------------------------------------------
+
+void
+KernelBuilder::buildBoot()
+{
+    { // init_vfs(): dentries + inodes + page cache contents.
+        FB b(m_, fn("init_vfs"));
+        Reg n = b.constI(64);
+        countedLoop(b, n, [&](Reg i) {
+            // Path i has externally visible hash 1000 + 97*i; both of
+            // path_lookup's component probes must resolve.
+            Reg scaled = b.binImm(BK::kMul, i, 97);
+            Reg ph = b.binImm(BK::kAdd, scaled, 1000);
+            // link_path_walk() resolves 4 components per path; insert
+            // each component's dentry.
+            for (int64_t c = 0; c < 4; ++c) {
+                Reg salted = b.binImm(BK::kAdd, ph, c * 131);
+                Reg h = b.call(fn("k_hash"), {salted});
+                Reg r = b.call(fn("d_insert"), {h, i});
+                b.sink(r);
+            }
+            // Inode: fs type skewed toward ramfs, the LMBench staple.
+            Reg iscaled = b.binImm(BK::kMul, i, L::kInodeSize);
+            Reg ioff = b.binImm(BK::kAdd, iscaled, L::kInodeTable);
+            Reg sel = b.binImm(BK::kAnd, i, 7);
+            Reg is_hot = b.binImm(BK::kLe, sel, 4);
+            Reg fs = b.newReg();
+            ifThenElse(b, is_hot,
+                       [&] { b.setRegConst(fs, fstype::kRamfs); },
+                       [&] {
+                           Reg over = b.binImm(BK::kSub, sel, 4);
+                           b.setReg(fs, over); // extfs/procfs/devfs
+                       });
+            kstore(b, ioff, fs, 0);
+            Reg size = b.constI(4096);
+            kstore(b, ioff, size, 1);
+            Reg page = b.binImm(BK::kAnd, i, L::kNumPages - 1);
+            kstore(b, ioff, page, 2);
+            Reg one = b.constI(1);
+            kstore(b, ioff, one, 3);
+        });
+        // Fill the page cache with deterministic bytes.
+        Reg words = b.constI(L::kNumPages * L::kPageWords);
+        countedLoop(b, words, [&](Reg i) {
+            Reg v = b.call(fn("k_hash"), {i});
+            kstore(b, i, v, L::kPageCache);
+        });
+        b.ret(b.constI(0));
+    }
+    { // init_net()
+        FB b(m_, fn("init_net"));
+        Reg base = b.constI(L::kSockTable);
+        Reg zero = b.constI(0);
+        Reg n = b.constI(L::kNumSocks * L::kSockSize);
+        Reg r = b.call(fn("k_memset"), {base, zero, n});
+        b.sink(r);
+        b.ret(b.constI(0));
+    }
+    { // init_tasks(): task 0 runs with pid 1.
+        FB b(m_, fn("init_tasks"));
+        Reg zero = b.constI(0);
+        kstoreAbs(b, L::kCurTask, zero);
+        Reg one = b.constI(1);
+        Reg t0 = b.constI(L::kTaskTable);
+        kstore(b, t0, one, 0);
+        kstore(b, t0, one, 1);
+        kstore(b, t0, zero, 2); // mm window 0
+        Reg two = b.constI(2);
+        kstoreAbs(b, L::kNextPid, two);
+        b.ret(b.constI(0));
+    }
+    { // init_drivers(): probe every device through its ops table.
+        FB b(m_, fn("init_drivers"));
+        Reg n = b.constI(static_cast<int64_t>(cfg_.num_drivers));
+        countedLoop(b, n, [&](Reg d) {
+            Reg scaled = b.binImm(BK::kMul, d, L::kDriverWords);
+            Reg dev = b.binImm(BK::kAdd, scaled, L::kDriverBase);
+            Reg ops4 = b.binImm(BK::kMul, d, 4);
+            Reg slot = b.binImm(BK::kAdd, ops4, 3); // probe
+            Reg zero = b.constI(0);
+            Reg r = tableCall(b, drv_ops_, slot, {dev, d, zero});
+            b.sink(r);
+        });
+        b.ret(b.constI(0));
+    }
+    { // kernel_init()
+        FB b(m_, fn("kernel_init"));
+        Reg done = kloadAbs(b, L::kBootDone);
+        ifThen(b, done, [&] { b.ret(b.constI(0)); });
+        for (const char* step :
+             {"init_vfs", "init_net", "init_tasks", "init_drivers"}) {
+            Reg r = b.call(fn(step), {});
+            b.sink(r);
+        }
+        Reg one = b.constI(1);
+        kstoreAbs(b, L::kBootDone, one);
+        b.ret(one);
+    }
+}
+
+} // namespace pibe::kernel

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Scalar and CFG cleanup passes.
+ *
+ * These provide the "additional optimization opportunities" that make
+ * inlining worthwhile beyond eliding the call/return pair (§5.2):
+ * constant folding propagates constant arguments into inlined bodies,
+ * DCE removes the code thus made dead, and CFG simplification merges
+ * the straight-line seams inlining leaves behind (shrinking code size
+ * and therefore i-cache footprint).
+ */
+#ifndef PIBE_OPT_CLEANUP_H_
+#define PIBE_OPT_CLEANUP_H_
+
+#include "ir/module.h"
+
+namespace pibe::opt {
+
+/**
+ * Block-local constant folding: folds moves/binops over known
+ * constants, and collapses conditional branches and switches on
+ * constants into unconditional branches. Returns true if changed.
+ */
+bool constantFold(ir::Function& func);
+
+/**
+ * Block-local copy propagation: rewrites uses of `dst = move src` to
+ * use `src` directly while both registers are unmodified, making the
+ * move dead (inlining's argument-binding moves are the main customer).
+ * Returns true if changed.
+ */
+bool copyPropagate(ir::Function& func);
+
+/**
+ * Dead-code elimination: removes side-effect-free instructions whose
+ * results are never read, to a fixpoint. Returns true if changed.
+ */
+bool deadCodeElim(ir::Function& func);
+
+/**
+ * CFG simplification: threads trivial jump chains, merges blocks with
+ * a unique predecessor into that predecessor, and deletes unreachable
+ * blocks (renumbering the remainder). Returns true if changed.
+ */
+bool simplifyCfg(ir::Function& func);
+
+/** Run all cleanups on one function to a (bounded) fixpoint. */
+void cleanupFunction(ir::Function& func);
+
+/** Run cleanupFunction over every function with a body. */
+void cleanupModule(ir::Module& module);
+
+} // namespace pibe::opt
+
+#endif // PIBE_OPT_CLEANUP_H_

@@ -1,0 +1,247 @@
+#include "opt/icp.h"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace pibe::opt {
+
+namespace {
+
+struct PromotionCandidate
+{
+    ir::SiteId site = ir::kNoSite;
+    ir::FuncId target = ir::kInvalidFunc;
+    uint64_t count = 0;
+};
+
+/** Locate the kICall instruction carrying `site`. */
+bool
+findICall(ir::Module& module, ir::SiteId site, ir::FuncId* func,
+          ir::BlockId* block, uint32_t* index)
+{
+    for (ir::Function& f : module.functions()) {
+        for (ir::BlockId b = 0; b < f.blocks.size(); ++b) {
+            auto& insts = f.blocks[b].insts;
+            for (uint32_t i = 0; i < insts.size(); ++i) {
+                if (insts[i].site_id == site &&
+                    insts[i].op == ir::Opcode::kICall) {
+                    *func = f.id;
+                    *block = b;
+                    *index = i;
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+/**
+ * Rewrite one indirect call site into a chain of guarded direct calls
+ * (hottest target first) with the original indirect call as fallback.
+ * Returns the fresh site ids of the direct calls, aligned with
+ * `targets`.
+ */
+std::vector<ir::SiteId>
+promoteSite(ir::Module& module, ir::FuncId func_id, ir::BlockId bb_id,
+            uint32_t idx, const std::vector<ir::FuncId>& targets)
+{
+    ir::Function& f = module.func(func_id);
+    const ir::Instruction icall = f.blocks[bb_id].insts[idx];
+    PIBE_ASSERT(icall.op == ir::Opcode::kICall, "promoteSite: not an icall");
+
+    // Continuation block receives everything after the icall.
+    const ir::BlockId cont =
+        static_cast<ir::BlockId>(f.blocks.size());
+    f.blocks.emplace_back();
+    {
+        auto& src = f.blocks[bb_id].insts;
+        auto& dst = f.blocks[cont].insts;
+        dst.assign(std::make_move_iterator(src.begin() + idx + 1),
+                   std::make_move_iterator(src.end()));
+        src.resize(idx);
+    }
+
+    std::vector<ir::SiteId> direct_sites;
+    ir::BlockId cur = bb_id;
+    for (ir::FuncId target : targets) {
+        // cur: addr = funcaddr target; cond = (ptr == addr);
+        //      condbr cond, call_block, next_block
+        const ir::BlockId call_block =
+            static_cast<ir::BlockId>(f.blocks.size());
+        f.blocks.emplace_back();
+        const ir::BlockId next_block =
+            static_cast<ir::BlockId>(f.blocks.size());
+        f.blocks.emplace_back();
+
+        ir::Instruction addr;
+        addr.op = ir::Opcode::kFuncAddr;
+        addr.dst = f.num_regs++;
+        addr.callee = target;
+
+        ir::Instruction cmp;
+        cmp.op = ir::Opcode::kBinOp;
+        cmp.bin = ir::BinKind::kEq;
+        cmp.dst = f.num_regs++;
+        cmp.a = icall.a;
+        cmp.b = addr.dst;
+
+        ir::Instruction guard;
+        guard.op = ir::Opcode::kCondBr;
+        guard.a = cmp.dst;
+        guard.t0 = call_block;
+        guard.t1 = next_block;
+
+        auto& cur_insts = f.blocks[cur].insts;
+        cur_insts.push_back(addr);
+        cur_insts.push_back(cmp);
+        cur_insts.push_back(guard);
+
+        ir::Instruction direct;
+        direct.op = ir::Opcode::kCall;
+        direct.dst = icall.dst;
+        direct.callee = target;
+        direct.args = icall.args;
+        direct.site_id = module.allocSiteId();
+        direct_sites.push_back(direct.site_id);
+
+        ir::Instruction br;
+        br.op = ir::Opcode::kBr;
+        br.t0 = cont;
+
+        auto& call_insts = f.blocks[call_block].insts;
+        call_insts.push_back(std::move(direct));
+        call_insts.push_back(br);
+
+        cur = next_block;
+    }
+
+    // Fallback: the original indirect call (keeps its site id and any
+    // residual profile weight), then fall through to the continuation.
+    {
+        ir::Instruction fallback = icall;
+        ir::Instruction br;
+        br.op = ir::Opcode::kBr;
+        br.t0 = cont;
+        auto& insts = f.blocks[cur].insts;
+        insts.push_back(std::move(fallback));
+        insts.push_back(br);
+    }
+
+    return direct_sites;
+}
+
+} // namespace
+
+IcpAudit
+runIcp(ir::Module& module, profile::EdgeProfile& profile,
+       const IcpConfig& config)
+{
+    IcpAudit audit;
+
+    // Count all indirect call sites (Table 10 denominator) and record
+    // which sites are legal promotion subjects.
+    std::map<ir::SiteId, const ir::Instruction*> icall_by_site;
+    std::map<ir::SiteId, ir::FuncId> site_owner;
+    for (const ir::Function& f : module.functions()) {
+        for (const auto& bb : f.blocks) {
+            for (const auto& inst : bb.insts) {
+                if (inst.op != ir::Opcode::kICall)
+                    continue;
+                ++audit.total_icall_sites;
+                icall_by_site.emplace(inst.site_id, &inst);
+                site_owner.emplace(inst.site_id, f.id);
+            }
+        }
+    }
+
+    // Gather (site, target, count) candidates.
+    std::vector<PromotionCandidate> candidates;
+    for (const auto& [site, targets] : profile.indirectSites()) {
+        auto it = icall_by_site.find(site);
+        if (it == icall_by_site.end())
+            continue;
+        const ir::Instruction* icall = it->second;
+        if (icall->is_asm)
+            continue; // inline-assembly sites are untouchable (§3)
+        if (module.func(site_owner[site]).hasAttr(ir::kAttrOptNone))
+            continue;
+        bool counted_site = false;
+        for (const auto& [target, count] : targets) {
+            if (count == 0)
+                continue;
+            if (target >= module.numFunctions())
+                continue;
+            const ir::Function& callee = module.func(target);
+            // A guarded direct call must match the callee's signature.
+            if (callee.num_params != icall->args.size())
+                continue;
+            candidates.push_back({site, target, count});
+            audit.total_weight += count;
+            ++audit.candidate_targets;
+            counted_site = true;
+        }
+        if (counted_site)
+            ++audit.candidate_sites;
+    }
+    if (candidates.empty())
+        return audit;
+
+    // Greedy selection under the cumulative-weight budget, hottest
+    // (site, target) pairs first.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  if (a.site != b.site)
+                      return a.site < b.site;
+                  return a.target < b.target;
+              });
+    const double target_weight =
+        config.budget * static_cast<double>(audit.total_weight);
+    std::map<ir::SiteId, std::vector<PromotionCandidate>> chosen;
+    double cum = 0;
+    for (const auto& c : candidates) {
+        if (cum >= target_weight)
+            break;
+        cum += static_cast<double>(c.count);
+        auto& list = chosen[c.site];
+        if (config.max_targets_per_site != 0 &&
+            list.size() >= config.max_targets_per_site)
+            continue;
+        list.push_back(c);
+    }
+
+    // Rewrite each chosen site once, hottest target first (the sort
+    // above already ordered each site's list by descending count).
+    for (auto& [site, list] : chosen) {
+        ir::FuncId func;
+        ir::BlockId block;
+        uint32_t index;
+        if (!findICall(module, site, &func, &block, &index))
+            continue;
+        std::vector<ir::FuncId> targets;
+        targets.reserve(list.size());
+        for (const auto& c : list)
+            targets.push_back(c.target);
+        std::vector<ir::SiteId> direct_sites =
+            promoteSite(module, func, block, index, targets);
+        PIBE_ASSERT(direct_sites.size() == list.size(),
+                    "icp: site arity mismatch");
+        ++audit.promoted_sites;
+        for (size_t i = 0; i < list.size(); ++i) {
+            uint64_t moved = profile.consumeIndirect(site, list[i].target);
+            profile.addDirect(direct_sites[i], moved);
+            audit.promoted_weight += moved;
+            ++audit.promoted_targets;
+        }
+    }
+
+    return audit;
+}
+
+} // namespace pibe::opt

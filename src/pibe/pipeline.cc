@@ -1,0 +1,57 @@
+#include "pibe/pipeline.h"
+
+#include "analysis/layout.h"
+#include "ir/verifier.h"
+
+namespace pibe::core {
+
+ir::Module
+buildImage(const ir::Module& linked, const profile::EdgeProfile& profile,
+           const OptConfig& opt, const harden::DefenseConfig& defenses,
+           BuildReport* report)
+{
+    ir::Module image = linked; // snapshot
+    profile::EdgeProfile working = profile;
+    BuildReport local;
+    BuildReport& rep = report ? *report : local;
+
+    rep.baseline_image_size = analysis::CodeLayout(linked).imageSize();
+
+    // Promotion first: it turns hot indirect edges into direct ones,
+    // creating inlining candidates (§5.3).
+    if (opt.enable_icp) {
+        opt::IcpConfig cfg;
+        cfg.budget = opt.icp_budget;
+        rep.icp = opt::runIcp(image, working, cfg);
+    }
+
+    switch (opt.inliner) {
+      case InlinerKind::kPibe: {
+        opt::PibeInlinerConfig cfg;
+        cfg.budget = opt.inline_budget;
+        cfg.lax_heuristics = opt.lax_heuristics;
+        cfg.lax_budget = opt.lax_budget;
+        cfg.rule2_caller_threshold = opt.rule2_caller_threshold;
+        cfg.rule3_callee_threshold = opt.rule3_callee_threshold;
+        rep.inlining = opt::runPibeInliner(image, working, cfg);
+        break;
+      }
+      case InlinerKind::kDefaultLlvm: {
+        opt::DefaultInlinerConfig cfg;
+        cfg.budget = opt.inline_budget;
+        rep.inlining = opt::runDefaultInliner(image, working, cfg);
+        break;
+      }
+      case InlinerKind::kNone:
+        break;
+    }
+
+    rep.coverage = harden::applyDefenses(image, defenses);
+    rep.image_size = analysis::CodeLayout(image).imageSize();
+    rep.final_profile = std::move(working);
+
+    ir::verifyOrDie(image, "buildImage(" + defenses.name() + ")");
+    return image;
+}
+
+} // namespace pibe::core

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The PIBE pipeline — the paper's §4 overview as an API.
+ *
+ * Phase 1 (profiling): collectProfile() runs a workload on the linked
+ * module with the edge profiler attached and returns the call-graph
+ * edge profile.
+ *
+ * Phase 2 (production build): buildImage() takes the linked module and
+ * a profile and derives a production image by running, in order,
+ * profile-guided indirect call promotion, profile-guided inlining
+ * (PIBE's or the LLVM-like comparator), and the hardening pass for the
+ * requested defense combination. A BuildReport captures every audit
+ * the evaluation tables need.
+ */
+#ifndef PIBE_PIBE_PIPELINE_H_
+#define PIBE_PIBE_PIPELINE_H_
+
+#include "harden/harden.h"
+#include "ir/module.h"
+#include "opt/icp.h"
+#include "opt/inliner.h"
+#include "profile/edge_profile.h"
+
+namespace pibe::core {
+
+/** Which inlining algorithm to run. */
+enum class InlinerKind {
+    kPibe,        ///< §5.2 greedy weight-ordered inliner.
+    kDefaultLlvm, ///< §8.4 bottom-up size-based comparator.
+    kNone,        ///< Skip inlining.
+};
+
+/** Optimization configuration for one production image. */
+struct OptConfig
+{
+    bool enable_icp = true;
+    /** ICP cumulative-weight budget (§5.3). */
+    double icp_budget = 0.99999;
+
+    InlinerKind inliner = InlinerKind::kPibe;
+    /** Inlining cumulative-weight budget (§5.2 Rule 1). */
+    double inline_budget = 0.999;
+    /** §8.3 "lax heuristics": drop Rules 2-3 inside `lax_budget`. */
+    bool lax_heuristics = false;
+    double lax_budget = 0.99;
+    /** Rule 2 caller-complexity threshold. */
+    int64_t rule2_caller_threshold = 12000;
+    /** Rule 3 callee-complexity threshold. */
+    int64_t rule3_callee_threshold = 3000;
+
+    /** Convenience: no optimization at all (the LTO baseline). */
+    static OptConfig
+    none()
+    {
+        OptConfig c;
+        c.enable_icp = false;
+        c.inliner = InlinerKind::kNone;
+        return c;
+    }
+
+    /** ICP only, at `budget` (Table 3 configurations). */
+    static OptConfig
+    icpOnly(double budget)
+    {
+        OptConfig c;
+        c.enable_icp = true;
+        c.icp_budget = budget;
+        c.inliner = InlinerKind::kNone;
+        return c;
+    }
+
+    /** ICP at 99.999% plus PIBE inlining at `budget` (Table 5). */
+    static OptConfig
+    icpAndInline(double inline_budget, bool lax = false)
+    {
+        OptConfig c;
+        c.icp_budget = 0.99999;
+        c.inline_budget = inline_budget;
+        c.lax_heuristics = lax;
+        return c;
+    }
+};
+
+/** Everything the evaluation tables read out of one image build. */
+struct BuildReport
+{
+    opt::IcpAudit icp;
+    opt::InlineAudit inlining;
+    harden::CoverageReport coverage;
+    uint64_t image_size = 0;          ///< Bytes after all passes.
+    uint64_t baseline_image_size = 0; ///< Bytes of the input module.
+    /** The profile as transformed by the passes (promoted weights
+     *  moved to direct edges, inherited sites added). */
+    profile::EdgeProfile final_profile;
+};
+
+/**
+ * Derive a production image from `linked` using `profile`. The input
+ * module is copied; the profile is copied and transformed internally.
+ */
+ir::Module buildImage(const ir::Module& linked,
+                      const profile::EdgeProfile& profile,
+                      const OptConfig& opt,
+                      const harden::DefenseConfig& defenses,
+                      BuildReport* report = nullptr);
+
+} // namespace pibe::core
+
+#endif // PIBE_PIBE_PIPELINE_H_

@@ -1,0 +1,104 @@
+#include "profile/edge_profile.h"
+
+#include <algorithm>
+
+namespace pibe::profile {
+
+uint64_t
+EdgeProfile::directCount(ir::SiteId site) const
+{
+    auto it = direct_.find(site);
+    return it == direct_.end() ? 0 : it->second;
+}
+
+uint64_t
+EdgeProfile::indirectCount(ir::SiteId site) const
+{
+    auto it = indirect_.find(site);
+    if (it == indirect_.end())
+        return 0;
+    uint64_t total = 0;
+    for (const auto& [target, count] : it->second)
+        total += count;
+    return total;
+}
+
+std::vector<TargetCount>
+EdgeProfile::indirectTargets(ir::SiteId site) const
+{
+    std::vector<TargetCount> result;
+    auto it = indirect_.find(site);
+    if (it == indirect_.end())
+        return result;
+    result.reserve(it->second.size());
+    for (const auto& [target, count] : it->second)
+        result.push_back({target, count});
+    std::stable_sort(result.begin(), result.end(),
+                     [](const TargetCount& a, const TargetCount& b) {
+                         if (a.count != b.count)
+                             return a.count > b.count;
+                         return a.target < b.target;
+                     });
+    return result;
+}
+
+uint64_t
+EdgeProfile::invocations(ir::FuncId f) const
+{
+    return f < invocations_.size() ? invocations_[f] : 0;
+}
+
+uint64_t
+EdgeProfile::totalDirectWeight() const
+{
+    uint64_t total = 0;
+    for (const auto& [site, count] : direct_)
+        total += count;
+    return total;
+}
+
+uint64_t
+EdgeProfile::totalIndirectWeight() const
+{
+    uint64_t total = 0;
+    for (const auto& [site, targets] : indirect_) {
+        (void)site;
+        for (const auto& [target, count] : targets)
+            total += count;
+    }
+    return total;
+}
+
+uint64_t
+EdgeProfile::consumeIndirect(ir::SiteId site, ir::FuncId target)
+{
+    auto it = indirect_.find(site);
+    if (it == indirect_.end())
+        return 0;
+    auto tit = it->second.find(target);
+    if (tit == it->second.end())
+        return 0;
+    uint64_t count = tit->second;
+    it->second.erase(tit);
+    if (it->second.empty())
+        indirect_.erase(it);
+    return count;
+}
+
+void
+EdgeProfile::merge(const EdgeProfile& other)
+{
+    for (const auto& [site, count] : other.direct_)
+        direct_[site] += count;
+    for (const auto& [site, targets] : other.indirect_) {
+        auto& mine = indirect_[site];
+        for (const auto& [target, count] : targets)
+            mine[target] += count;
+    }
+    if (other.invocations_.size() > invocations_.size())
+        invocations_.resize(other.invocations_.size(), 0);
+    for (size_t f = 0; f < other.invocations_.size(); ++f)
+        invocations_[f] += other.invocations_[f];
+}
+
+} // namespace pibe::profile

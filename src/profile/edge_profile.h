@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Call-graph edge profiles — the data product of PIBE's profiling phase
+ * (§4, §7): an execution count per direct call site, a per-target value
+ * profile per indirect call site, and per-function invocation counts.
+ *
+ * Profiles are keyed by the module's stable SiteIds (the "unique
+ * identifiers" the paper attaches to each edge) so they can be mapped
+ * back onto the IR even after separate profiling/production builds.
+ */
+#ifndef PIBE_PROFILE_EDGE_PROFILE_H_
+#define PIBE_PROFILE_EDGE_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace pibe::profile {
+
+/** One (target, count) entry of an indirect site's value profile. */
+struct TargetCount
+{
+    ir::FuncId target = ir::kInvalidFunc;
+    uint64_t count = 0;
+};
+
+/**
+ * Execution-count profile over a module's call-graph edges.
+ *
+ * Uses ordered maps so that iteration (and thus every consumer's
+ * behaviour) is deterministic.
+ */
+class EdgeProfile
+{
+  public:
+    /** Record one execution of a direct call site. */
+    void
+    addDirect(ir::SiteId site, uint64_t count = 1)
+    {
+        direct_[site] += count;
+    }
+
+    /** Record one execution of an indirect call site hitting `target`. */
+    void
+    addIndirect(ir::SiteId site, ir::FuncId target, uint64_t count = 1)
+    {
+        indirect_[site][target] += count;
+    }
+
+    /** Record `count` invocations of function `f`. */
+    void
+    addInvocation(ir::FuncId f, uint64_t count = 1)
+    {
+        if (f >= invocations_.size())
+            invocations_.resize(f + 1, 0);
+        invocations_[f] += count;
+    }
+
+    /** Count of a direct site (0 if never observed). */
+    uint64_t directCount(ir::SiteId site) const;
+
+    /** Total count of an indirect site across all targets. */
+    uint64_t indirectCount(ir::SiteId site) const;
+
+    /** Value profile of an indirect site, hottest target first. */
+    std::vector<TargetCount> indirectTargets(ir::SiteId site) const;
+
+    /** Invocation count of a function. */
+    uint64_t invocations(ir::FuncId f) const;
+
+    /** Sum of all direct-site counts. */
+    uint64_t totalDirectWeight() const;
+
+    /** Sum of all indirect-site counts. */
+    uint64_t totalIndirectWeight() const;
+
+    /** Number of distinct indirect sites observed. */
+    size_t numIndirectSites() const { return indirect_.size(); }
+
+    /** Number of distinct direct sites observed. */
+    size_t numDirectSites() const { return direct_.size(); }
+
+    /**
+     * Remove target `t` from indirect site `site`'s value profile and
+     * return its count (0 if absent). Used by indirect-call promotion,
+     * which converts that edge weight into a direct edge.
+     */
+    uint64_t consumeIndirect(ir::SiteId site, ir::FuncId target);
+
+    /** Accumulate another profile into this one (multi-run profiling). */
+    void merge(const EdgeProfile& other);
+
+    const std::map<ir::SiteId, uint64_t>& directSites() const
+    {
+        return direct_;
+    }
+    const std::map<ir::SiteId, std::map<ir::FuncId, uint64_t>>&
+    indirectSites() const
+    {
+        return indirect_;
+    }
+
+  private:
+    std::map<ir::SiteId, uint64_t> direct_;
+    std::map<ir::SiteId, std::map<ir::FuncId, uint64_t>> indirect_;
+    std::vector<uint64_t> invocations_;
+};
+
+} // namespace pibe::profile
+
+#endif // PIBE_PROFILE_EDGE_PROFILE_H_

@@ -1,0 +1,49 @@
+#include "support/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pibe {
+
+namespace {
+LogLevel g_level = LogLevel::kNormal;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+namespace detail {
+
+void
+logMessage(const char* tag, LogLevel min_level, const std::string& msg)
+{
+    if (static_cast<int>(g_level) < static_cast<int>(min_level))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+void
+fatalImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "[fatal] %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "[panic] %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace pibe

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library (synthetic kernel generation,
+ * workload request mixes, predictor tie-breaking) flows through Rng so
+ * that every experiment is reproducible from a seed.
+ */
+#ifndef PIBE_SUPPORT_RNG_H_
+#define PIBE_SUPPORT_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace pibe {
+
+/**
+ * SplitMix64-seeded xoshiro256** generator.
+ *
+ * Small, fast, and stable across platforms; not suitable for
+ * cryptography, which we do not need.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (any value, including 0, is fine). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        // SplitMix64 to spread the seed across the 256-bit state.
+        uint64_t x = seed;
+        for (auto& s : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    /** Next uniformly distributed 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @pre bound > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        PIBE_ASSERT(bound > 0, "Rng::below bound must be positive");
+        // Rejection-free multiply-shift; bias negligible for our bounds.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform value in [lo, hi] inclusive. @pre lo <= hi. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        PIBE_ASSERT(lo <= hi, "Rng::range requires lo <= hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Draw an index from a discrete distribution given non-negative
+     * weights. @pre at least one weight is positive.
+     */
+    size_t
+    weightedIndex(const std::vector<double>& weights)
+    {
+        double total = 0;
+        for (double w : weights)
+            total += w;
+        PIBE_ASSERT(total > 0, "weightedIndex requires positive total");
+        double r = uniform() * total;
+        for (size_t i = 0; i < weights.size(); ++i) {
+            r -= weights[i];
+            if (r < 0)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+    /**
+     * Zipf-like skewed index in [0, n): index i has weight
+     * 1 / (i + 1)^alpha. Used for hot/cold path skew in workloads.
+     */
+    size_t
+    zipf(size_t n, double alpha)
+    {
+        PIBE_ASSERT(n > 0, "zipf requires n > 0");
+        // Inverse-CDF via linear scan is fine for the small n we use.
+        double total = 0;
+        for (size_t i = 0; i < n; ++i)
+            total += zipfWeight(i, alpha);
+        double r = uniform() * total;
+        for (size_t i = 0; i < n; ++i) {
+            r -= zipfWeight(i, alpha);
+            if (r < 0)
+                return i;
+        }
+        return n - 1;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static double
+    zipfWeight(size_t i, double alpha)
+    {
+        double base = static_cast<double>(i + 1);
+        double w = 1.0;
+        // Integer alpha fast path covers all our uses (alpha in {1,2}).
+        for (int k = 0; k < static_cast<int>(alpha); ++k)
+            w /= base;
+        return w;
+    }
+
+    uint64_t state_[4] = {};
+};
+
+} // namespace pibe
+
+#endif // PIBE_SUPPORT_RNG_H_

@@ -1,0 +1,74 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace pibe {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    PIBE_ASSERT(!header_.empty(), "table must have at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    PIBE_ASSERT(row.size() == header_.size(),
+                "row arity ", row.size(), " != header arity ",
+                header_.size());
+    rows_.push_back(std::move(row));
+    ++row_count_;
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](std::ostringstream& os,
+                        const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+
+    auto emit_sep = [&](std::ostringstream& os) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "|-" : "-|-");
+            os << std::string(widths[c], '-');
+        }
+        os << "-|\n";
+    };
+
+    std::ostringstream os;
+    emit_sep(os);
+    emit_row(os, header_);
+    emit_sep(os);
+    for (const auto& row : rows_) {
+        if (row.empty())
+            emit_sep(os);
+        else
+            emit_row(os, row);
+    }
+    emit_sep(os);
+    return os.str();
+}
+
+} // namespace pibe

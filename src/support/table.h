@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness, so every bench
+ * binary can print rows in the same layout as the paper's tables.
+ */
+#ifndef PIBE_SUPPORT_TABLE_H_
+#define PIBE_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace pibe {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Test", "LTO", "PIBE"});
+ *   t.addRow({"read", "0.20", "-6.7%"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with the header row. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the table to a string with aligned columns. */
+    std::string render() const;
+
+    /** Number of data rows added (separators excluded). */
+    size_t rowCount() const { return row_count_; }
+
+  private:
+    std::vector<std::string> header_;
+    // Separator rows are encoded as empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+    size_t row_count_ = 0;
+};
+
+} // namespace pibe
+
+#endif // PIBE_SUPPORT_TABLE_H_

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Instruction cache model.
+ *
+ * The i-cache is the counterweight that makes code-size effects real:
+ * aggressive inlining enlarges hot paths past the cache's capacity,
+ * turning "always inline" into a loss (the reason for the paper's
+ * Rules 2 and 3 and the fluctuations it reports for size-oblivious
+ * inlining). Set-associative with LRU replacement; the simulator
+ * touches the byte range of each basic block it enters.
+ */
+#ifndef PIBE_UARCH_ICACHE_H_
+#define PIBE_UARCH_ICACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace pibe::uarch {
+
+/** Set-associative LRU instruction cache. */
+class ICache
+{
+  public:
+    /**
+     * @param size_bytes Total capacity.
+     * @param assoc Ways per set.
+     * @param line_bytes Line size.
+     */
+    ICache(uint32_t size_bytes, uint32_t assoc, uint32_t line_bytes);
+
+    /**
+     * Fetch the code bytes [start, end); returns the number of line
+     * misses incurred.
+     */
+    uint32_t touchRange(uint64_t start, uint64_t end);
+
+    /** Fetch a single line containing `addr`; returns 1 on miss. */
+    uint32_t touch(uint64_t addr);
+
+    void flush();
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = ~0ull;
+        uint64_t lru = 0;
+    };
+
+    uint32_t assoc_;
+    uint32_t line_bytes_;
+    uint32_t num_sets_;
+    std::vector<Way> ways_; // num_sets_ * assoc_
+    uint64_t tick_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace pibe::uarch
+
+#endif // PIBE_UARCH_ICACHE_H_

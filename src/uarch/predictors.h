@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Branch prediction structures: BTB, RSB, and PHT (§2.2).
+ *
+ * These are the microarchitectural buffers transient attacks poison.
+ * They are modeled structurally — indexed by code addresses from the
+ * layout, shared across "contexts", and writable by an attack engine —
+ * so BTB aliasing, RSB desynchronization, and PHT training behave like
+ * their hardware counterparts at the fidelity the experiments need.
+ */
+#ifndef PIBE_UARCH_PREDICTORS_H_
+#define PIBE_UARCH_PREDICTORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace pibe::uarch {
+
+/**
+ * Branch Target Buffer: direct-mapped, tagless, indexed by the low
+ * bits of the branch address — so two branches whose addresses alias
+ * share an entry, and an attacker able to execute at an aliasing
+ * address can install an arbitrary predicted target (Spectre V2).
+ */
+class Btb
+{
+  public:
+    explicit Btb(uint32_t entries) : targets_(entries, 0)
+    {
+        PIBE_ASSERT(entries > 0 && (entries & (entries - 1)) == 0,
+                    "BTB entries must be a power of two");
+    }
+
+    /** Predicted target for a branch at `addr` (0 = no prediction). */
+    uint64_t
+    predict(uint64_t addr) const
+    {
+        return targets_[indexOf(addr)];
+    }
+
+    /** Train the entry for `addr` with the resolved `target`. */
+    void
+    update(uint64_t addr, uint64_t target)
+    {
+        targets_[indexOf(addr)] = target;
+    }
+
+    /** Attacker primitive: install `target` in the entry for `addr`. */
+    void
+    poison(uint64_t addr, uint64_t target)
+    {
+        targets_[indexOf(addr)] = target;
+    }
+
+    void
+    flush()
+    {
+        std::fill(targets_.begin(), targets_.end(), 0);
+    }
+
+  private:
+    uint32_t
+    indexOf(uint64_t addr) const
+    {
+        // Low bits of the (byte) address select the set, as on x86.
+        return static_cast<uint32_t>((addr >> 1) &
+                                     (targets_.size() - 1));
+    }
+
+    std::vector<uint64_t> targets_;
+};
+
+/**
+ * Return Stack Buffer: a small circular hardware stack of predicted
+ * return addresses. Pushes wrap around (overwriting the oldest entry)
+ * and pops past the fill level underflow, both of which cause return
+ * mispredictions in deep call chains — and both of which attackers
+ * exploit (Ret2spec / SpectreRSB).
+ */
+class Rsb
+{
+  public:
+    explicit Rsb(uint32_t entries) : ring_(entries, 0)
+    {
+        PIBE_ASSERT(entries > 0, "RSB must have entries");
+    }
+
+    /** Push a return address (on call). */
+    void
+    push(uint64_t ret_addr)
+    {
+        top_ = (top_ + 1) % ring_.size();
+        ring_[top_] = ret_addr;
+        if (fill_ < ring_.size())
+            ++fill_;
+    }
+
+    /**
+     * Pop the predicted return address (on ret). Returns 0 on
+     * underflow (no prediction; hardware may fall back to the BTB).
+     */
+    uint64_t
+    pop()
+    {
+        if (fill_ == 0)
+            return 0;
+        uint64_t v = ring_[top_];
+        top_ = (top_ + ring_.size() - 1) % ring_.size();
+        --fill_;
+        return v;
+    }
+
+    /** Attacker primitive: overwrite the top entry (RSB poisoning). */
+    void
+    poisonTop(uint64_t target)
+    {
+        if (fill_ > 0)
+            ring_[top_] = target;
+    }
+
+    void
+    flush()
+    {
+        std::fill(ring_.begin(), ring_.end(), 0);
+        fill_ = 0;
+        top_ = 0;
+    }
+
+    uint32_t fillLevel() const { return fill_; }
+
+  private:
+    std::vector<uint64_t> ring_;
+    uint32_t top_ = 0;
+    uint32_t fill_ = 0;
+};
+
+/**
+ * Pattern History Table with gshare indexing: 2-bit saturating
+ * counters indexed by the branch address XORed with a global branch
+ * history register. The history component lets the predictor learn
+ * the periodic patterns that guard chains (ICP's compare sequences,
+ * jump-table compare trees) produce — which modern correlating
+ * predictors handle and a plain bimodal table does not.
+ */
+class Pht
+{
+  public:
+    explicit Pht(uint32_t entries) : counters_(entries, 1)
+    {
+        PIBE_ASSERT(entries > 0 && (entries & (entries - 1)) == 0,
+                    "PHT entries must be a power of two");
+    }
+
+    /** Predicted direction for the branch at `addr`. */
+    bool
+    predictTaken(uint64_t addr) const
+    {
+        return counters_[indexOf(addr)] >= 2;
+    }
+
+    /** Train with the resolved direction (also shifts history). */
+    void
+    update(uint64_t addr, bool taken)
+    {
+        uint8_t& c = counters_[indexOf(addr)];
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) & kHistoryMask;
+    }
+
+    void
+    flush()
+    {
+        std::fill(counters_.begin(), counters_.end(), 1);
+        history_ = 0;
+    }
+
+  private:
+    static constexpr uint64_t kHistoryMask = 0xfff; // 12-bit history
+
+    uint32_t
+    indexOf(uint64_t addr) const
+    {
+        return static_cast<uint32_t>(((addr >> 1) ^ history_) &
+                                     (counters_.size() - 1));
+    }
+
+    std::vector<uint8_t> counters_;
+    uint64_t history_ = 0;
+};
+
+} // namespace pibe::uarch
+
+#endif // PIBE_UARCH_PREDICTORS_H_

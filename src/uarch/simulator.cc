@@ -1,0 +1,531 @@
+#include "uarch/simulator.h"
+
+#include <algorithm>
+
+namespace pibe::uarch {
+
+namespace {
+
+/** Evaluate a binary operation the way the interpreter defines it. */
+int64_t
+evalBin(ir::BinKind kind, int64_t a, int64_t b)
+{
+    using ir::BinKind;
+    const auto ua = static_cast<uint64_t>(a);
+    const auto ub = static_cast<uint64_t>(b);
+    switch (kind) {
+      case BinKind::kAdd: return static_cast<int64_t>(ua + ub);
+      case BinKind::kSub: return static_cast<int64_t>(ua - ub);
+      case BinKind::kMul: return static_cast<int64_t>(ua * ub);
+      case BinKind::kDiv:
+        if (b == 0)
+            PIBE_FATAL("division by zero in simulated code");
+        return static_cast<int64_t>(ua / ub);
+      case BinKind::kRem:
+        if (b == 0)
+            PIBE_FATAL("remainder by zero in simulated code");
+        return static_cast<int64_t>(ua % ub);
+      case BinKind::kAnd: return a & b;
+      case BinKind::kOr:  return a | b;
+      case BinKind::kXor: return a ^ b;
+      case BinKind::kShl: return static_cast<int64_t>(ua << (ub & 63));
+      case BinKind::kShr: return static_cast<int64_t>(ua >> (ub & 63));
+      case BinKind::kEq:  return a == b;
+      case BinKind::kNe:  return a != b;
+      case BinKind::kLt:  return a < b;
+      case BinKind::kLe:  return a <= b;
+      case BinKind::kGt:  return a > b;
+      case BinKind::kGe:  return a >= b;
+    }
+    PIBE_PANIC("unhandled BinKind");
+}
+
+} // namespace
+
+Simulator::Simulator(const ir::Module& module, const CostParams& params)
+    : module_(module),
+      params_(params),
+      layout_(module),
+      btb_(params_.btb_entries),
+      rsb_(params_.rsb_entries),
+      pht_(params_.pht_entries),
+      icache_(params_.icache_bytes, params_.icache_assoc,
+              params_.icache_line)
+{
+    resetMemory();
+}
+
+void
+Simulator::resetMemory()
+{
+    globals_.clear();
+    globals_.reserve(module_.numGlobals());
+    for (const ir::Global& g : module_.globals())
+        globals_.push_back(g.init);
+}
+
+void
+Simulator::resetMicroarch()
+{
+    btb_.flush();
+    rsb_.flush();
+    pht_.flush();
+    icache_.flush();
+    js_states_.clear();
+}
+
+int64_t
+Simulator::readGlobal(ir::GlobalId g, size_t index) const
+{
+    PIBE_ASSERT(g < globals_.size() && index < globals_[g].size(),
+                "readGlobal out of range");
+    return globals_[g][index];
+}
+
+void
+Simulator::writeGlobal(ir::GlobalId g, size_t index, int64_t value)
+{
+    PIBE_ASSERT(g < globals_.size() && index < globals_[g].size(),
+                "writeGlobal out of range");
+    globals_[g][index] = value;
+}
+
+void
+Simulator::fetchBlock(ir::FuncId f, ir::BlockId bb, uint32_t from_ip)
+{
+    if (!timing_)
+        return;
+    const uint64_t start = layout_.instAddr(f, bb, from_ip);
+    const uint64_t end = layout_.blockEnd(f, bb);
+    const uint32_t misses = icache_.touchRange(start, end);
+    stats_.icache_misses += misses;
+    stats_.cycles +=
+        static_cast<uint64_t>(misses) * params_.icache_miss_penalty;
+}
+
+void
+Simulator::enterFunction(ir::FuncId f, const std::vector<int64_t>& args,
+                         ir::Reg ret_dst, uint64_t ret_addr)
+{
+    const ir::Function& func = module_.func(f);
+    PIBE_ASSERT(args.size() == func.num_params,
+                "call arity mismatch for ", func.name);
+    if (profiler_)
+        profiler_->addInvocation(f);
+
+    Activation act;
+    act.func = &func;
+    act.fid = f;
+    act.bb = 0;
+    act.ip = 0;
+    act.frame_base = static_cast<uint32_t>(frame_stack_.size());
+    act.ret_dst = ret_dst;
+    act.ret_addr = ret_addr;
+    act.regs.assign(func.num_regs, 0);
+    std::copy(args.begin(), args.end(), act.regs.begin());
+    frame_stack_.resize(frame_stack_.size() + func.frame_size, 0);
+    acts_.push_back(std::move(act));
+
+    stats_.max_call_depth =
+        std::max<uint64_t>(stats_.max_call_depth, acts_.size());
+    stats_.peak_frame_slots =
+        std::max<uint64_t>(stats_.peak_frame_slots, frame_stack_.size());
+    fetchBlock(f, 0, 0);
+}
+
+void
+Simulator::leaveFunction(int64_t value)
+{
+    const Activation done = std::move(acts_.back());
+    acts_.pop_back();
+    frame_stack_.resize(done.frame_base);
+    last_return_ = value;
+    if (!acts_.empty()) {
+        Activation& caller = acts_.back();
+        if (done.ret_dst != ir::kNoReg)
+            caller.regs[done.ret_dst] = value;
+        // Resume mid-block: refetch the remainder of the caller block
+        // (the callee may have evicted the caller's lines).
+        fetchBlock(caller.fid, caller.bb, caller.ip);
+    }
+}
+
+uint32_t
+Simulator::indirectCallCost(uint64_t branch_addr, ir::FuncId target,
+                            const ir::Instruction& inst)
+{
+    const uint64_t target_addr = layout_.funcBase(target);
+    switch (inst.fwd_scheme) {
+      case ir::FwdScheme::kNone: {
+        const uint64_t predicted = btb_.predict(branch_addr);
+        btb_.update(branch_addr, target_addr);
+        const uint32_t eibrs_tax =
+            params_.eibrs ? params_.cost_eibrs_branch : 0;
+        if (predicted == target_addr)
+            return params_.cost_icall_predicted + eibrs_tax;
+        ++stats_.btb_mispredicts;
+        return params_.cost_icall_mispredict + eibrs_tax;
+      }
+      case ir::FwdScheme::kRetpoline:
+        ++stats_.thunk_execs;
+        return params_.cost_retpoline;
+      case ir::FwdScheme::kLviCfi: {
+        // The LVI thunk's jmpq *%r11 still predicts through the BTB;
+        // the LFENCE adds a fixed serialization cost.
+        ++stats_.thunk_execs;
+        const uint64_t predicted = btb_.predict(branch_addr);
+        btb_.update(branch_addr, target_addr);
+        uint32_t base = params_.cost_icall_predicted;
+        if (predicted != target_addr) {
+            ++stats_.btb_mispredicts;
+            base = params_.cost_icall_mispredict;
+        }
+        return base + params_.cost_lvi_fwd;
+      }
+      case ir::FwdScheme::kFencedRetpoline:
+        ++stats_.thunk_execs;
+        return params_.cost_fenced_retpoline;
+      case ir::FwdScheme::kJumpSwitch: {
+        JsState& js = js_states_[inst.site_id];
+        ++js.execs;
+        // Multi-target sites periodically drop back into a learning
+        // retpoline that re-ranks targets (§8.2).
+        if (js.multi_target &&
+            js.execs % params_.js_learn_period <
+                params_.js_learn_duration) {
+            ++stats_.js_learning;
+            return params_.cost_retpoline;
+        }
+        uint32_t cost = 0;
+        for (size_t i = 0; i < js.inline_targets.size(); ++i) {
+            cost += params_.cost_js_check;
+            if (js.inline_targets[i] == target) {
+                ++stats_.js_hits;
+                return cost + params_.cost_dcall;
+            }
+        }
+        if (js.inline_targets.size() < params_.js_max_inline_targets) {
+            // Live-patch the new target into the switch.
+            js.inline_targets.push_back(target);
+            js.multi_target = js.inline_targets.size() > 1;
+            ++stats_.js_patches;
+            return cost + params_.cost_js_patch;
+        }
+        ++stats_.js_misses;
+        return cost + params_.cost_retpoline;
+      }
+    }
+    PIBE_PANIC("unhandled FwdScheme");
+}
+
+uint32_t
+Simulator::returnCost(uint64_t ret_inst_addr, uint64_t actual_ret_addr,
+                      const ir::Instruction& inst)
+{
+    (void)ret_inst_addr;
+    switch (inst.ret_scheme) {
+      case ir::RetScheme::kNone: {
+        const uint64_t predicted = rsb_.pop();
+        if (predicted == actual_ret_addr)
+            return params_.cost_ret_predicted;
+        ++stats_.rsb_mispredicts;
+        return params_.cost_ret_mispredict;
+      }
+      case ir::RetScheme::kReturnRetpoline:
+        ++stats_.thunk_execs;
+        rsb_.pop(); // keep the hardware stack consistent
+        return params_.cost_ret_retpoline;
+      case ir::RetScheme::kLviRet:
+        ++stats_.thunk_execs;
+        rsb_.pop();
+        return params_.cost_lvi_ret;
+      case ir::RetScheme::kFencedRet:
+        ++stats_.thunk_execs;
+        rsb_.pop();
+        return params_.cost_fenced_ret;
+    }
+    PIBE_PANIC("unhandled RetScheme");
+}
+
+int64_t
+Simulator::run(ir::FuncId entry, const std::vector<int64_t>& args)
+{
+    PIBE_ASSERT(acts_.empty(), "Simulator::run is not reentrant");
+    const ir::Function& entry_func = module_.func(entry);
+    if (entry_func.isDeclaration()) {
+        if (timing_)
+            stats_.cycles += params_.cost_external;
+        if (profiler_)
+            profiler_->addInvocation(entry);
+        return 0;
+    }
+    // Kernel entry: entry-time attackers pollute predictor state
+    // first; RSB refilling (when enabled) then overwrites it (§6.4).
+    if (observer_)
+        observer_->onKernelEntry(rsb_);
+    if (params_.rsb_refill_on_entry) {
+        rsb_.flush();
+        for (uint32_t i = 0; i < params_.rsb_entries; ++i)
+            rsb_.push(0); // benign stuffing
+        if (timing_)
+            stats_.cycles += params_.cost_rsb_refill;
+    }
+    enterFunction(entry, args, ir::kNoReg, 0);
+
+    while (!acts_.empty()) {
+        Activation& act = acts_.back();
+        const ir::Function& f = *act.func;
+        PIBE_ASSERT(act.bb < f.blocks.size(), "bad block in ", f.name);
+        const ir::BasicBlock& bb = f.blocks[act.bb];
+        PIBE_ASSERT(act.ip < bb.insts.size(), "fell off block in ",
+                    f.name);
+        const ir::Instruction& inst = bb.insts[act.ip];
+        ++stats_.instructions;
+
+        switch (inst.op) {
+          case ir::Opcode::kConst:
+            act.regs[inst.dst] = inst.imm;
+            if (timing_)
+                stats_.cycles += params_.cost_free;
+            ++act.ip;
+            break;
+          case ir::Opcode::kMove:
+            act.regs[inst.dst] = act.regs[inst.a];
+            if (timing_)
+                stats_.cycles += params_.cost_free;
+            ++act.ip;
+            break;
+          case ir::Opcode::kBinOp:
+            act.regs[inst.dst] =
+                evalBin(inst.bin, act.regs[inst.a], act.regs[inst.b]);
+            if (timing_)
+                stats_.cycles += params_.cost_simple;
+            ++act.ip;
+            break;
+          case ir::Opcode::kFuncAddr:
+            act.regs[inst.dst] = ir::funcAddrValue(inst.callee);
+            if (timing_)
+                stats_.cycles += params_.cost_free;
+            ++act.ip;
+            break;
+          case ir::Opcode::kLoad: {
+            auto& g = globals_[inst.global];
+            const int64_t index = act.regs[inst.a] + inst.imm;
+            if (index < 0 || index >= static_cast<int64_t>(g.size())) {
+                PIBE_FATAL("load out of bounds: @",
+                           module_.global(inst.global).name, "[", index,
+                           "] in ", f.name);
+            }
+            act.regs[inst.dst] = g[index];
+            if (timing_)
+                stats_.cycles += params_.cost_mem;
+            ++act.ip;
+            break;
+          }
+          case ir::Opcode::kStore: {
+            auto& g = globals_[inst.global];
+            const int64_t index = act.regs[inst.a] + inst.imm;
+            if (index < 0 || index >= static_cast<int64_t>(g.size())) {
+                PIBE_FATAL("store out of bounds: @",
+                           module_.global(inst.global).name, "[", index,
+                           "] in ", f.name);
+            }
+            g[index] = act.regs[inst.b];
+            if (timing_)
+                stats_.cycles += params_.cost_mem;
+            ++act.ip;
+            break;
+          }
+          case ir::Opcode::kFrameLoad:
+            act.regs[inst.dst] =
+                frame_stack_[act.frame_base + inst.imm];
+            if (timing_)
+                stats_.cycles += params_.cost_simple;
+            ++act.ip;
+            break;
+          case ir::Opcode::kFrameStore:
+            frame_stack_[act.frame_base + inst.imm] = act.regs[inst.a];
+            if (timing_)
+                stats_.cycles += params_.cost_simple;
+            ++act.ip;
+            break;
+          case ir::Opcode::kSink:
+            sink_hash_ = sink_hash_ * 0x100000001b3ull ^
+                         static_cast<uint64_t>(act.regs[inst.a]);
+            if (timing_)
+                stats_.cycles += params_.cost_simple;
+            ++act.ip;
+            break;
+          case ir::Opcode::kCall: {
+            ++stats_.direct_calls;
+            if (profiler_)
+                profiler_->addDirect(inst.site_id);
+            const ir::Function& callee = module_.func(inst.callee);
+            const uint64_t call_addr =
+                layout_.instAddr(act.fid, act.bb, act.ip);
+            const uint64_t next_addr =
+                call_addr + analysis::instByteSize(inst);
+            if (timing_) {
+                stats_.cycles +=
+                    params_.cost_dcall +
+                    params_.cost_arg *
+                        static_cast<uint32_t>(inst.args.size());
+            }
+            ++act.ip; // resume after the call upon return
+            if (callee.isDeclaration()) {
+                if (profiler_)
+                    profiler_->addInvocation(inst.callee);
+                if (timing_)
+                    stats_.cycles += params_.cost_external;
+                if (inst.dst != ir::kNoReg)
+                    act.regs[inst.dst] = 0;
+                break;
+            }
+            rsb_.push(next_addr);
+            std::vector<int64_t> call_args;
+            call_args.reserve(inst.args.size());
+            for (ir::Reg r : inst.args)
+                call_args.push_back(act.regs[r]);
+            enterFunction(inst.callee, call_args, inst.dst, next_addr);
+            break;
+          }
+          case ir::Opcode::kICall: {
+            ++stats_.indirect_calls;
+            const int64_t value = act.regs[inst.a];
+            if (!ir::isFuncAddrValue(value)) {
+                PIBE_FATAL("indirect call through non-function value ",
+                           value, " in ", f.name);
+            }
+            const ir::FuncId target = ir::funcAddrTarget(value);
+            if (target >= module_.numFunctions())
+                PIBE_FATAL("indirect call to unknown function in ",
+                           f.name);
+            const ir::Function& callee = module_.func(target);
+            if (callee.num_params != inst.args.size()) {
+                PIBE_FATAL("indirect call arity mismatch: ", f.name,
+                           " -> ", callee.name);
+            }
+            if (profiler_)
+                profiler_->addIndirect(inst.site_id, target);
+            const uint64_t call_addr =
+                layout_.instAddr(act.fid, act.bb, act.ip);
+            const uint64_t next_addr =
+                call_addr + analysis::instByteSize(inst);
+            if (observer_) {
+                observer_->onIndirectBranch(call_addr, inst.fwd_scheme,
+                                            layout_.funcBase(target),
+                                            btb_);
+            }
+            if (timing_) {
+                stats_.cycles +=
+                    indirectCallCost(call_addr, target, inst) +
+                    params_.cost_arg *
+                        static_cast<uint32_t>(inst.args.size());
+            }
+            ++act.ip;
+            if (callee.isDeclaration()) {
+                if (profiler_)
+                    profiler_->addInvocation(target);
+                if (timing_)
+                    stats_.cycles += params_.cost_external;
+                if (inst.dst != ir::kNoReg)
+                    act.regs[inst.dst] = 0;
+                break;
+            }
+            rsb_.push(next_addr);
+            std::vector<int64_t> call_args;
+            call_args.reserve(inst.args.size());
+            for (ir::Reg r : inst.args)
+                call_args.push_back(act.regs[r]);
+            enterFunction(target, call_args, inst.dst, next_addr);
+            break;
+          }
+          case ir::Opcode::kRet: {
+            ++stats_.returns;
+            const int64_t value =
+                inst.a == ir::kNoReg ? 0 : act.regs[inst.a];
+            const uint64_t ret_inst_addr =
+                layout_.instAddr(act.fid, act.bb, act.ip);
+            if (observer_) {
+                observer_->onReturn(ret_inst_addr, inst.ret_scheme,
+                                    act.ret_addr, rsb_);
+            }
+            if (timing_) {
+                stats_.cycles +=
+                    returnCost(ret_inst_addr, act.ret_addr, inst);
+            } else if (inst.ret_scheme == ir::RetScheme::kNone) {
+                rsb_.pop();
+            } else {
+                rsb_.pop();
+            }
+            leaveFunction(value);
+            break;
+          }
+          case ir::Opcode::kBr:
+            if (timing_)
+                stats_.cycles += params_.cost_br;
+            act.bb = inst.t0;
+            act.ip = 0;
+            fetchBlock(act.fid, act.bb, 0);
+            break;
+          case ir::Opcode::kCondBr: {
+            ++stats_.cond_branches;
+            const bool taken = act.regs[inst.a] != 0;
+            if (timing_) {
+                const uint64_t addr =
+                    layout_.instAddr(act.fid, act.bb, act.ip);
+                const bool predicted = pht_.predictTaken(addr);
+                pht_.update(addr, taken);
+                if (predicted == taken) {
+                    stats_.cycles += params_.cost_condbr_predicted;
+                } else {
+                    ++stats_.pht_mispredicts;
+                    stats_.cycles += params_.cost_condbr_mispredict;
+                }
+            }
+            act.bb = taken ? inst.t0 : inst.t1;
+            act.ip = 0;
+            fetchBlock(act.fid, act.bb, 0);
+            break;
+          }
+          case ir::Opcode::kSwitch: {
+            ++stats_.switches;
+            const int64_t value = act.regs[inst.a];
+            ir::BlockId target = inst.t0;
+            for (size_t c = 0; c < inst.case_values.size(); ++c) {
+                if (inst.case_values[c] == value) {
+                    target = inst.case_targets[c];
+                    break;
+                }
+            }
+            const uint64_t addr =
+                layout_.instAddr(act.fid, act.bb, act.ip);
+            const uint64_t target_addr =
+                layout_.blockStart(act.fid, target);
+            if (observer_) {
+                // A jump-table switch is an indirect jump (forward
+                // edge); surviving ones are unhardened by definition.
+                observer_->onIndirectBranch(addr, inst.fwd_scheme,
+                                            target_addr, btb_);
+            }
+            if (timing_) {
+                const uint64_t predicted = btb_.predict(addr);
+                btb_.update(addr, target_addr);
+                if (predicted == target_addr) {
+                    stats_.cycles += params_.cost_icall_predicted;
+                } else {
+                    ++stats_.btb_mispredicts;
+                    stats_.cycles += params_.cost_icall_mispredict;
+                }
+            }
+            act.bb = target;
+            act.ip = 0;
+            fetchBlock(act.fid, act.bb, 0);
+            break;
+          }
+        }
+    }
+    return last_return_;
+}
+
+} // namespace pibe::uarch

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The PIR execution engine: functional interpreter + timing model +
+ * profiling hook + speculation hook, in one loop.
+ *
+ * A single engine serves every phase of the PIBE pipeline:
+ *  - with a profiler attached it is the profiling run (collecting the
+ *    call-graph edge profile of §7);
+ *  - with timing enabled it is the performance testbed (cycle counts
+ *    from the cost model, i-cache, BTB/RSB/PHT);
+ *  - with a SpeculationObserver attached it is the attack testbed
+ *    (§8.6).
+ * Using one engine guarantees the profile, the measurements, and the
+ * security verdicts all see the same execution.
+ */
+#ifndef PIBE_UARCH_SIMULATOR_H_
+#define PIBE_UARCH_SIMULATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/layout.h"
+#include "ir/module.h"
+#include "profile/edge_profile.h"
+#include "uarch/cost_model.h"
+#include "uarch/icache.h"
+#include "uarch/predictors.h"
+#include "uarch/speculation.h"
+
+namespace pibe::uarch {
+
+/** Counters accumulated while running. */
+struct RunStats
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t direct_calls = 0;
+    uint64_t indirect_calls = 0;
+    uint64_t returns = 0;
+    uint64_t cond_branches = 0;
+    uint64_t switches = 0;
+    uint64_t icache_misses = 0;
+    uint64_t btb_mispredicts = 0;
+    uint64_t rsb_mispredicts = 0;
+    uint64_t pht_mispredicts = 0;
+    uint64_t thunk_execs = 0; ///< Hardened branch executions.
+    uint64_t js_hits = 0;     ///< JumpSwitch inline-check hits.
+    uint64_t js_misses = 0;   ///< JumpSwitch fallback retpolines.
+    uint64_t js_patches = 0;  ///< JumpSwitch live-patch events.
+    uint64_t js_learning = 0; ///< Executions in learning mode.
+    uint64_t max_call_depth = 0;
+    uint64_t peak_frame_slots = 0; ///< Peak stack usage (slots).
+};
+
+/**
+ * Interprets a PIR module.
+ *
+ * The module must outlive the simulator and must not be mutated while
+ * a simulator references it (the layout is computed at construction).
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(const ir::Module& module,
+                       const CostParams& params = {});
+
+    /**
+     * Call function `f` with `args` and run to completion; returns the
+     * function's return value. Global memory persists across calls
+     * (the kernel keeps state); use resetMemory() for a cold boot.
+     */
+    int64_t run(ir::FuncId f, const std::vector<int64_t>& args);
+
+    /** Reinitialize global memory from the module's initializers. */
+    void resetMemory();
+
+    /** Flush caches, predictors, and JumpSwitch runtime state. */
+    void resetMicroarch();
+
+    const RunStats& stats() const { return stats_; }
+    void clearStats() { stats_ = RunStats{}; }
+
+    /** Attach an edge profiler (nullptr to detach). */
+    void setProfiler(profile::EdgeProfile* profiler)
+    {
+        profiler_ = profiler;
+    }
+
+    /** Attach a speculation observer (nullptr to detach). */
+    void setObserver(SpeculationObserver* observer)
+    {
+        observer_ = observer;
+    }
+
+    /** Enable/disable the timing model (profiling runs disable it). */
+    void setTimingEnabled(bool enabled) { timing_ = enabled; }
+
+    /** Running hash of all kSink values — the observable behaviour of
+     *  an execution; equal hashes mean equivalent observed effects. */
+    uint64_t sinkHash() const { return sink_hash_; }
+    void resetSinkHash() { sink_hash_ = 0x9dc5; }
+
+    const analysis::CodeLayout& layout() const { return layout_; }
+    const CostParams& params() const { return params_; }
+
+    /** Read a global slot (workload setup/verification). */
+    int64_t readGlobal(ir::GlobalId g, size_t index) const;
+    /** Write a global slot (workload setup). */
+    void writeGlobal(ir::GlobalId g, size_t index, int64_t value);
+
+  private:
+    struct Activation
+    {
+        const ir::Function* func = nullptr;
+        ir::FuncId fid = ir::kInvalidFunc;
+        ir::BlockId bb = 0;
+        uint32_t ip = 0;
+        uint32_t frame_base = 0;
+        ir::Reg ret_dst = ir::kNoReg; ///< Destination in caller's regs.
+        uint64_t ret_addr = 0;        ///< Code address after the call.
+        std::vector<int64_t> regs;
+    };
+
+    /** JumpSwitch per-site runtime state (§8.2). */
+    struct JsState
+    {
+        std::vector<ir::FuncId> inline_targets;
+        uint64_t execs = 0;
+        bool multi_target = false;
+    };
+
+    void enterFunction(ir::FuncId f, const std::vector<int64_t>& args,
+                       ir::Reg ret_dst, uint64_t ret_addr);
+    void leaveFunction(int64_t value);
+    void fetchBlock(ir::FuncId f, ir::BlockId bb, uint32_t from_ip);
+    uint32_t indirectCallCost(uint64_t branch_addr, ir::FuncId target,
+                              const ir::Instruction& inst);
+    uint32_t returnCost(uint64_t ret_inst_addr, uint64_t actual_ret_addr,
+                        const ir::Instruction& inst);
+
+    const ir::Module& module_;
+    CostParams params_;
+    analysis::CodeLayout layout_;
+
+    Btb btb_;
+    Rsb rsb_;
+    Pht pht_;
+    ICache icache_;
+
+    std::vector<std::vector<int64_t>> globals_;
+    std::vector<int64_t> frame_stack_;
+    std::vector<Activation> acts_;
+    std::unordered_map<ir::SiteId, JsState> js_states_;
+
+    profile::EdgeProfile* profiler_ = nullptr;
+    SpeculationObserver* observer_ = nullptr;
+    bool timing_ = true;
+
+    RunStats stats_;
+    uint64_t sink_hash_ = 0x9dc5;
+    int64_t last_return_ = 0;
+};
+
+} // namespace pibe::uarch
+
+#endif // PIBE_UARCH_SIMULATOR_H_

@@ -1,0 +1,130 @@
+#include "uarch/speculation.h"
+
+namespace pibe::uarch {
+
+const char*
+attackKindName(AttackKind kind)
+{
+    switch (kind) {
+      case AttackKind::kSpectreV2: return "spectre-v2";
+      case AttackKind::kRet2spec:  return "ret2spec";
+      case AttackKind::kLvi:       return "lvi";
+    }
+    return "?";
+}
+
+bool
+forwardSchemeVulnerable(AttackKind kind, ir::FwdScheme scheme)
+{
+    using ir::FwdScheme;
+    switch (kind) {
+      case AttackKind::kSpectreV2:
+        // The retpoline pins speculation to its capture loop; LVI-CFI's
+        // thunk still ends in a BTB-predicted jmpq (§6.3).
+        return scheme == FwdScheme::kNone || scheme == FwdScheme::kLviCfi;
+      case AttackKind::kRet2spec:
+        return false; // Forward edges do not consult the RSB.
+      case AttackKind::kLvi:
+        // Only LFENCE'd sequences order the target load before the
+        // transfer; plain retpolines (and the JumpSwitch retpoline
+        // fallback) do not (§6.2, §6.3).
+        return scheme == FwdScheme::kNone ||
+               scheme == FwdScheme::kRetpoline ||
+               scheme == FwdScheme::kJumpSwitch;
+    }
+    return false;
+}
+
+bool
+returnSchemeVulnerable(AttackKind kind, ir::RetScheme scheme)
+{
+    using ir::RetScheme;
+    switch (kind) {
+      case AttackKind::kSpectreV2:
+        // Plain returns predict through the RSB, not the BTB; but the
+        // LVI return thunk's jmpq *%rcx reintroduces a BTB-predicted
+        // branch (§6.3).
+        return scheme == RetScheme::kLviRet;
+      case AttackKind::kRet2spec:
+        return scheme == RetScheme::kNone;
+      case AttackKind::kLvi:
+        // The return-address load is unfenced in both the plain return
+        // and Intel's return retpoline; only the fenced variants order
+        // it (Listing 7).
+        return scheme == RetScheme::kNone ||
+               scheme == RetScheme::kReturnRetpoline;
+    }
+    return false;
+}
+
+void
+TransientAttacker::onKernelEntry(Rsb& rsb)
+{
+    if (timing_ != Timing::kEntryOnly)
+        return;
+    // Pre-entry pollution: leave poisoned return predictions behind
+    // before the victim enters the kernel (Ret2spec from userspace).
+    if (kind_ == AttackKind::kRet2spec) {
+        for (int i = 0; i < 16; ++i)
+            rsb.push(gadget_addr_);
+    }
+}
+
+void
+TransientAttacker::onIndirectBranch(uint64_t branch_addr,
+                                    ir::FwdScheme scheme,
+                                    uint64_t actual_target_addr, Btb& btb)
+{
+    ++fwd_events_;
+    if (kind_ == AttackKind::kSpectreV2) {
+        // eIBRS partitions predictions by privilege: cross-privilege
+        // training never reaches kernel-mode branches. Same-mode
+        // training (mistraining aliasing kernel branches by invoking
+        // kernel code, §6.4) bypasses the partition.
+        if (eibrs_ && !same_mode_)
+            return;
+        // The attacker keeps the victim's BTB entry poisoned from an
+        // aliasing context. An unprotected branch then transiently
+        // dispatches through the poisoned prediction.
+        btb.poison(branch_addr, gadget_addr_);
+        if (scheme == ir::FwdScheme::kNone) {
+            if (btb.predict(branch_addr) == gadget_addr_ &&
+                actual_target_addr != gadget_addr_) {
+                ++fwd_hits_;
+            }
+            return;
+        }
+    }
+    if (forwardSchemeVulnerable(kind_, scheme))
+        ++fwd_hits_;
+}
+
+void
+TransientAttacker::onReturn(uint64_t ret_addr, ir::RetScheme scheme,
+                            uint64_t actual_return_addr, Rsb& rsb)
+{
+    (void)ret_addr;
+    ++ret_events_;
+    if (kind_ == AttackKind::kRet2spec) {
+        // Continuous attackers desynchronize the RSB as the victim
+        // runs; entry-only attackers rely on their pre-entry pollution
+        // still being there.
+        if (timing_ == Timing::kContinuous)
+            rsb.poisonTop(gadget_addr_);
+        if (scheme == ir::RetScheme::kNone) {
+            if (rsb.pop() == gadget_addr_ &&
+                actual_return_addr != gadget_addr_) {
+                ++ret_hits_;
+            }
+            // Note: we consumed the entry the simulator would have
+            // popped; the simulator pops independently of us, so push
+            // a placeholder back to keep fill levels consistent.
+            rsb.push(actual_return_addr);
+            return;
+        }
+    }
+    if (returnSchemeVulnerable(kind_, scheme))
+        ++ret_hits_;
+}
+
+} // namespace pibe::uarch

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Transient-execution attack engine (§2.2, §6, §8.6).
+ *
+ * The engine rides along with the simulator: before every indirect
+ * branch or return it gets a chance to poison the predictors (the
+ * attacker runs concurrently on a sibling context), and after the
+ * branch resolves it computes the *speculative* target the pipeline
+ * would have transiently executed. If that target is the attacker's
+ * gadget, a gadget hit is recorded — the simulator's architectural
+ * execution is never corrupted, mirroring how transient attacks leak
+ * without affecting committed state.
+ *
+ * For unhardened branches the verdict is mechanistic: the poisoned
+ * BTB/RSB entry actually flows through prediction. For thunked
+ * branches, the verdict follows the defense semantics of §6:
+ *
+ *            |  SpectreV2  |  Ret2spec  |   LVI
+ *  icall none        HIT          -         HIT
+ *  retpoline         safe         -         HIT  (no fence, §6.3)
+ *  lvi-cfi           HIT*         -         safe (*thunk's jmpq uses BTB)
+ *  fenced-retpoline  safe         -         safe
+ *  jump-switch       safe         -         HIT  (retpoline fallback)
+ *  ret none           -          HIT        HIT
+ *  return-retpoline   -          safe       HIT  (no fence)
+ *  lvi-ret           HIT*        safe       safe (*jmpq uses BTB)
+ *  fenced-ret        safe        safe       safe
+ */
+#ifndef PIBE_UARCH_SPECULATION_H_
+#define PIBE_UARCH_SPECULATION_H_
+
+#include <cstdint>
+
+#include "ir/module.h"
+#include "uarch/predictors.h"
+
+namespace pibe::uarch {
+
+/** The transient attack classes PIBE defends against. */
+enum class AttackKind {
+    kSpectreV2, ///< BTB poisoning of indirect branches.
+    kRet2spec,  ///< RSB poisoning of returns.
+    kLvi,       ///< Load value injection into branch-target loads.
+};
+
+/** Human-readable attack name. */
+const char* attackKindName(AttackKind kind);
+
+/** Is a forward edge with `scheme` transiently hijackable by `kind`? */
+bool forwardSchemeVulnerable(AttackKind kind, ir::FwdScheme scheme);
+
+/** Is a backward edge with `scheme` transiently hijackable by `kind`? */
+bool returnSchemeVulnerable(AttackKind kind, ir::RetScheme scheme);
+
+/**
+ * Attack observer interface invoked by the simulator at each indirect
+ * control transfer.
+ */
+class SpeculationObserver
+{
+  public:
+    virtual ~SpeculationObserver() = default;
+
+    /**
+     * Called at each kernel entry (top-level Simulator::run), *before*
+     * any RSB refill: an attacker that can only poison between kernel
+     * invocations acts here (§6.4's userspace-to-kernel scenario).
+     */
+    virtual void
+    onKernelEntry(Rsb& rsb)
+    {
+        (void)rsb;
+    }
+
+    /**
+     * Called for each executed indirect call / indirect jump.
+     * @param branch_addr Code address of the branch.
+     * @param scheme Hardening scheme in effect.
+     * @param actual_target_addr Resolved (architectural) target.
+     * @param btb The live BTB (poisonable).
+     */
+    virtual void onIndirectBranch(uint64_t branch_addr,
+                                  ir::FwdScheme scheme,
+                                  uint64_t actual_target_addr,
+                                  Btb& btb) = 0;
+
+    /**
+     * Called for each executed return.
+     * @param ret_addr Code address of the return instruction.
+     * @param scheme Hardening scheme in effect.
+     * @param actual_return_addr Architectural return target.
+     * @param rsb The live RSB (poisonable).
+     */
+    virtual void onReturn(uint64_t ret_addr, ir::RetScheme scheme,
+                          uint64_t actual_return_addr, Rsb& rsb) = 0;
+};
+
+/**
+ * A concrete attacker mounting one attack kind against a gadget
+ * address, counting transient gadget hits.
+ */
+class TransientAttacker : public SpeculationObserver
+{
+  public:
+    /**
+     * When the attacker gets to poison predictor state (§6.4).
+     * kContinuous models a sibling hyperthread re-poisoning during
+     * kernel execution; kEntryOnly models a userspace attacker who can
+     * only pollute state before the victim enters the kernel — the
+     * scenario RSB refilling was designed for.
+     */
+    enum class Timing { kContinuous, kEntryOnly };
+
+    /**
+     * @param kind Attack class to mount.
+     * @param gadget_addr Code address of the disclosure gadget the
+     *        attacker wants transiently executed.
+     * @param timing When predictor poisoning happens.
+     */
+    TransientAttacker(AttackKind kind, uint64_t gadget_addr,
+                      Timing timing = Timing::kContinuous)
+        : kind_(kind), gadget_addr_(gadget_addr), timing_(timing)
+    {
+    }
+
+    /**
+     * Model eIBRS on the victim: cross-privilege BTB training is
+     * ineffective, so Spectre V2 poisoning only lands when the
+     * attacker trains on kernel execution itself (`same_mode`).
+     */
+    void
+    setEibrs(bool active, bool same_mode_training)
+    {
+        eibrs_ = active;
+        same_mode_ = same_mode_training;
+    }
+
+    void onKernelEntry(Rsb& rsb) override;
+    void onIndirectBranch(uint64_t branch_addr, ir::FwdScheme scheme,
+                          uint64_t actual_target_addr, Btb& btb) override;
+    void onReturn(uint64_t ret_addr, ir::RetScheme scheme,
+                  uint64_t actual_return_addr, Rsb& rsb) override;
+
+    /** Transient executions of the gadget observed so far. */
+    uint64_t gadgetHits() const { return fwd_hits_ + ret_hits_; }
+    uint64_t forwardHits() const { return fwd_hits_; }
+    uint64_t returnHits() const { return ret_hits_; }
+
+    /** Indirect branch / return events observed so far. */
+    uint64_t eventsObserved() const { return fwd_events_ + ret_events_; }
+    uint64_t forwardEvents() const { return fwd_events_; }
+    uint64_t returnEvents() const { return ret_events_; }
+
+    /** Gadget hits per observed event (0 when no events). */
+    double
+    hitRate() const
+    {
+        const uint64_t events = eventsObserved();
+        return events == 0 ? 0.0
+                           : static_cast<double>(gadgetHits()) /
+                                 static_cast<double>(events);
+    }
+
+    /** Hits per forward-edge event (indirect calls/jumps). */
+    double
+    forwardHitRate() const
+    {
+        return fwd_events_ == 0
+                   ? 0.0
+                   : static_cast<double>(fwd_hits_) /
+                         static_cast<double>(fwd_events_);
+    }
+
+    /** Hits per backward-edge event (returns). */
+    double
+    returnHitRate() const
+    {
+        return ret_events_ == 0
+                   ? 0.0
+                   : static_cast<double>(ret_hits_) /
+                         static_cast<double>(ret_events_);
+    }
+
+  private:
+    AttackKind kind_;
+    uint64_t gadget_addr_;
+    Timing timing_ = Timing::kContinuous;
+    bool eibrs_ = false;
+    bool same_mode_ = false;
+    uint64_t fwd_hits_ = 0;
+    uint64_t ret_hits_ = 0;
+    uint64_t fwd_events_ = 0;
+    uint64_t ret_events_ = 0;
+};
+
+} // namespace pibe::uarch
+
+#endif // PIBE_UARCH_SPECULATION_H_

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Macrobenchmark workloads (§8.5): request-serving loops that mix
+ * kernel facilities the way Nginx, Apache, and DBench do, without
+ * specifically stressing the user/kernel transition.
+ *
+ * The Apache workload doubles as the §8.4 robustness profile: it is
+ * deliberately monotonic (the same request path over and over)
+ * compared to LMBench's broad sweep.
+ */
+#include "workload/workload.h"
+
+#include "support/logging.h"
+
+namespace pibe::workload {
+
+namespace {
+
+using kernel::sysno::kAccept;
+using kernel::sysno::kClose;
+using kernel::sysno::kConnect;
+using kernel::sysno::kFstat;
+using kernel::sysno::kOpen;
+using kernel::sysno::kRead;
+using kernel::sysno::kRecv;
+using kernel::sysno::kSelect;
+using kernel::sysno::kSend;
+using kernel::sysno::kSocket;
+using kernel::sysno::kStat;
+using kernel::sysno::kWrite;
+
+namespace proto = kernel::proto;
+
+struct ServerState
+{
+    int64_t listener = -1;
+    int64_t conns[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeNginxWorkload()
+{
+    // Event-driven: a select() over persistent connections, then
+    // recv / cached-open / read / send per ready connection.
+    auto st = std::make_shared<ServerState>();
+    return std::make_unique<SimpleWorkload>(
+        "nginx",
+        [st](KernelHandle& k) {
+            st->listener = k.syscall(kSocket, proto::kTcp);
+            for (int64_t i = 0; i < 8; ++i) {
+                int64_t c = k.syscall(kSocket, proto::kTcp);
+                k.syscall(kConnect, c, st->listener);
+                st->conns[i] = c;
+                k.sim().writeGlobal(k.info().kmem,
+                                    kernel::KernelLayout::kUserBase +
+                                        400 + i,
+                                    c);
+            }
+        },
+        [st](KernelHandle& k, uint64_t i) {
+            k.syscall(kSelect, 8, 400);
+            int64_t c = st->conns[i % 8];
+            k.syscall(kSend, c, 0, 6);  // request arrives
+            k.syscall(kRecv, c, 32, 6); // server reads it
+            // Static 4-byte page from the cache: open+fstat+read+close.
+            int64_t fd =
+                k.syscall(kOpen, KernelHandle::pathHash(16 + i % 4), 0);
+            k.syscall(kFstat, fd, 64);
+            k.syscall(kRead, fd, 96, 4);
+            k.syscall(kClose, fd);
+            k.syscall(kSend, c, 96, 4);  // response
+            k.syscall(kRecv, c, 128, 4); // client drains
+        });
+}
+
+std::unique_ptr<Workload>
+makeApacheWorkload()
+{
+    // MPM-event-flavored: accept a fresh connection per request, stat
+    // then serve the same small static page (monotonic by design).
+    auto st = std::make_shared<ServerState>();
+    return std::make_unique<SimpleWorkload>(
+        "apache",
+        [st](KernelHandle& k) {
+            st->listener = k.syscall(kSocket, proto::kTcp);
+        },
+        [st](KernelHandle& k, uint64_t i) {
+            int64_t c = k.syscall(kSocket, proto::kTcp);
+            k.syscall(kConnect, c, st->listener);
+            int64_t s = k.syscall(kAccept, st->listener);
+            k.syscall(kSend, c, 0, 8);  // request
+            k.syscall(kRecv, s, 32, 8); // worker reads
+            k.syscall(kStat, KernelHandle::pathHash(20 + i % 2), 64);
+            int64_t fd =
+                k.syscall(kOpen, KernelHandle::pathHash(20 + i % 2), 0);
+            k.syscall(kRead, fd, 96, 4);
+            k.syscall(kClose, fd);
+            k.syscall(kSend, s, 96, 4); // response
+            k.syscall(kRecv, c, 128, 4);
+            if (s >= 0)
+                k.syscall(kClose, s);
+            k.syscall(kClose, c);
+        });
+}
+
+std::unique_ptr<Workload>
+makeDbenchWorkload()
+{
+    // File-server op mix on tmpfs: open/write/read/lseek/stat/close.
+    return std::make_unique<SimpleWorkload>(
+        "dbench", nullptr, [](KernelHandle& k, uint64_t i) {
+            int64_t path = KernelHandle::pathHash(24 + i % 12);
+            int64_t fd = k.syscall(kOpen, path, 0);
+            if (fd < 0)
+                return;
+            k.syscall(kWrite, fd, 0, 16);
+            k.syscall(kWrite, fd, 16, 16);
+            k.syscall(kernel::sysno::kLseek, fd, 0);
+            k.syscall(kRead, fd, 64, 16);
+            k.syscall(kFstat, fd, 128);
+            if (i % 4 == 0)
+                k.syscall(kStat, path, 160);
+            k.syscall(kClose, fd);
+        });
+}
+
+} // namespace pibe::workload

@@ -1,0 +1,131 @@
+/** @file Tests for the eIBRS hardware-mitigation model (§6.4). */
+#include <gtest/gtest.h>
+
+#include "harden/harden.h"
+#include "ir/builder.h"
+#include "tests/test_util.h"
+#include "uarch/simulator.h"
+#include "uarch/speculation.h"
+
+namespace pibe {
+namespace {
+
+using ir::BinKind;
+using ir::FunctionBuilder;
+using ir::Module;
+
+struct Victim
+{
+    Module m;
+    ir::FuncId entry;
+    ir::FuncId gadget;
+};
+
+Victim
+makeVictim()
+{
+    Victim v;
+    ir::FuncId leaf = v.m.addFunction("leaf", 1);
+    {
+        FunctionBuilder b(v.m, leaf);
+        b.ret(b.param(0));
+    }
+    v.gadget = v.m.addFunction("gadget", 1);
+    {
+        FunctionBuilder b(v.m, v.gadget);
+        b.sink(b.param(0));
+        b.ret(b.constI(0));
+    }
+    v.m.addGlobal("t", {ir::funcAddrValue(leaf)});
+    v.entry = v.m.addFunction("entry", 1);
+    FunctionBuilder b(v.m, v.entry);
+    ir::Reg z = b.constI(0);
+    ir::Reg t = b.load(0, z);
+    ir::Reg r = b.icall(t, {b.param(0)});
+    b.ret(r);
+    return v;
+}
+
+uint64_t
+v2Hits(bool eibrs, bool same_mode)
+{
+    Victim v = makeVictim();
+    uarch::CostParams params;
+    params.eibrs = eibrs;
+    uarch::Simulator sim(v.m, params);
+    uarch::TransientAttacker attacker(uarch::AttackKind::kSpectreV2,
+                                      sim.layout().funcBase(v.gadget));
+    attacker.setEibrs(eibrs, same_mode);
+    sim.setObserver(&attacker);
+    for (int i = 0; i < 100; ++i)
+        sim.run(v.entry, {i});
+    return attacker.forwardHits();
+}
+
+TEST(Eibrs, BlocksCrossPrivilegeTraining)
+{
+    EXPECT_GT(v2Hits(false, false), 0u);
+    EXPECT_EQ(v2Hits(true, false), 0u);
+}
+
+TEST(Eibrs, DoesNotBlockSameModeTraining)
+{
+    EXPECT_GT(v2Hits(true, true), 0u);
+}
+
+TEST(Eibrs, RetpolinesBlockBothTrainingModes)
+{
+    for (bool same_mode : {false, true}) {
+        Victim v = makeVictim();
+        harden::applyDefenses(v.m,
+                              harden::DefenseConfig::retpolinesOnly());
+        uarch::Simulator sim(v.m);
+        uarch::TransientAttacker attacker(
+            uarch::AttackKind::kSpectreV2,
+            sim.layout().funcBase(v.gadget));
+        attacker.setEibrs(false, same_mode);
+        sim.setObserver(&attacker);
+        for (int i = 0; i < 100; ++i)
+            sim.run(v.entry, {i});
+        EXPECT_EQ(attacker.forwardHits(), 0u);
+    }
+}
+
+TEST(Eibrs, TaxesEveryUnhardenedIndirectBranch)
+{
+    Victim v = makeVictim();
+    auto cycles = [&](bool eibrs) {
+        uarch::CostParams params;
+        params.eibrs = eibrs;
+        uarch::Simulator sim(v.m, params);
+        for (int i = 0; i < 50; ++i)
+            sim.run(v.entry, {i});
+        sim.clearStats();
+        for (int i = 0; i < 100; ++i)
+            sim.run(v.entry, {i});
+        return sim.stats().cycles;
+    };
+    uint64_t plain = cycles(false);
+    uint64_t taxed = cycles(true);
+    EXPECT_EQ(taxed - plain,
+              100u * uarch::CostParams{}.cost_eibrs_branch);
+}
+
+TEST(Eibrs, DoesNotTaxRetpolines)
+{
+    // Thunked branches do not consult the BTB, so eIBRS adds nothing.
+    Victim v = makeVictim();
+    harden::applyDefenses(v.m, harden::DefenseConfig::retpolinesOnly());
+    auto cycles = [&](bool eibrs) {
+        uarch::CostParams params;
+        params.eibrs = eibrs;
+        uarch::Simulator sim(v.m, params);
+        for (int i = 0; i < 100; ++i)
+            sim.run(v.entry, {i});
+        return sim.stats().cycles;
+    };
+    EXPECT_EQ(cycles(false), cycles(true));
+}
+
+} // namespace
+} // namespace pibe

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the extension features: RSB refilling (§6.4), attacker
+ * timing modes, the constant-ratio ablation flag, and KernelInfo
+ * recovery from parsed modules.
+ */
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+
+#include "pibe/pipeline.h"
+#include "ir/printer.h"
+#include "kernel/kernel.h"
+#include "opt/icp.h"
+#include "opt/inliner.h"
+#include "tests/test_util.h"
+#include "uarch/simulator.h"
+#include "uarch/speculation.h"
+#include "workload/workload.h"
+
+namespace pibe {
+namespace {
+
+using ir::BinKind;
+using ir::FunctionBuilder;
+using ir::Module;
+using uarch::AttackKind;
+using uarch::TransientAttacker;
+
+/** Victim: service(n) makes n direct calls (each with a return). */
+struct RetVictim
+{
+    Module m;
+    ir::FuncId service;
+    ir::FuncId gadget;
+};
+
+RetVictim
+makeRetVictim()
+{
+    RetVictim v;
+    ir::FuncId leaf = v.m.addFunction("leaf", 1);
+    {
+        FunctionBuilder b(v.m, leaf);
+        b.ret(b.param(0));
+    }
+    v.gadget = v.m.addFunction("gadget", 1);
+    {
+        FunctionBuilder b(v.m, v.gadget);
+        b.sink(b.param(0));
+        b.ret(b.constI(0));
+    }
+    v.service = v.m.addFunction("service", 1);
+    FunctionBuilder b(v.m, v.service);
+    ir::Reg acc = b.newReg();
+    b.setRegConst(acc, 0);
+    for (int i = 0; i < 8; ++i) {
+        ir::Reg r = b.call(leaf, {acc});
+        b.setReg(acc, r);
+    }
+    b.ret(acc);
+    return v;
+}
+
+uint64_t
+ret2specHits(bool rsb_refill, TransientAttacker::Timing timing,
+             int entries = 50)
+{
+    RetVictim v = makeRetVictim();
+    uarch::CostParams params;
+    params.rsb_refill_on_entry = rsb_refill;
+    uarch::Simulator sim(v.m, params);
+    TransientAttacker attacker(AttackKind::kRet2spec,
+                               sim.layout().funcBase(v.gadget), timing);
+    sim.setObserver(&attacker);
+    for (int i = 0; i < entries; ++i)
+        sim.run(v.service, {i});
+    return attacker.returnHits();
+}
+
+TEST(RsbRefill, EntryOnlyAttackerHitsWithoutRefill)
+{
+    EXPECT_GT(ret2specHits(false, TransientAttacker::Timing::kEntryOnly),
+              0u);
+}
+
+TEST(RsbRefill, RefillBlocksEntryOnlyAttacker)
+{
+    EXPECT_EQ(ret2specHits(true, TransientAttacker::Timing::kEntryOnly),
+              0u);
+}
+
+TEST(RsbRefill, RefillDoesNotBlockContinuousAttacker)
+{
+    // The §6.4 gap: refilling cleans state at entry; an attacker who
+    // keeps poisoning during execution still wins.
+    EXPECT_GT(ret2specHits(true, TransientAttacker::Timing::kContinuous),
+              0u);
+}
+
+TEST(RsbRefill, ReturnRetpolinesBlockBothTimings)
+{
+    for (auto timing : {TransientAttacker::Timing::kEntryOnly,
+                        TransientAttacker::Timing::kContinuous}) {
+        RetVictim v = makeRetVictim();
+        harden::applyDefenses(v.m,
+                              harden::DefenseConfig::retRetpolinesOnly());
+        uarch::Simulator sim(v.m);
+        TransientAttacker attacker(AttackKind::kRet2spec,
+                                   sim.layout().funcBase(v.gadget),
+                                   timing);
+        sim.setObserver(&attacker);
+        for (int i = 0; i < 50; ++i)
+            sim.run(v.service, {i});
+        EXPECT_EQ(attacker.returnHits(), 0u);
+    }
+}
+
+TEST(RsbRefill, RefillCostsCyclesPerEntry)
+{
+    RetVictim v = makeRetVictim();
+    auto cycles_with = [&](bool refill) {
+        uarch::CostParams params;
+        params.rsb_refill_on_entry = refill;
+        uarch::Simulator sim(v.m, params);
+        for (int i = 0; i < 10; ++i)
+            sim.run(v.service, {i});
+        return sim.stats().cycles;
+    };
+    uint64_t plain = cycles_with(false);
+    uint64_t refilled = cycles_with(true);
+    EXPECT_EQ(refilled - plain, 10u * uarch::CostParams{}.cost_rsb_refill);
+}
+
+TEST(ConstantRatioAblation, DisablingReducesInlining)
+{
+    // Chain caller -> mid -> leaf, all hot. With propagation the
+    // inherited leaf copy is inlined too; without it, it is not.
+    Module m;
+    ir::FuncId leaf = m.addFunction("leaf", 1);
+    {
+        FunctionBuilder b(m, leaf);
+        b.ret(b.binImm(BinKind::kAdd, b.param(0), 1));
+    }
+    ir::FuncId mid = m.addFunction("mid", 1);
+    ir::SiteId leaf_site;
+    {
+        FunctionBuilder b(m, mid);
+        ir::Reg r = b.call(leaf, {b.param(0)});
+        leaf_site = m.func(mid).blocks[0].insts[0].site_id;
+        b.ret(r);
+    }
+    ir::FuncId caller = m.addFunction("caller", 1);
+    ir::SiteId mid_site;
+    {
+        FunctionBuilder b(m, caller);
+        ir::Reg r = b.call(mid, {b.param(0)});
+        mid_site = m.func(caller).blocks[0].insts[0].site_id;
+        b.ret(r);
+    }
+    auto make_profile = [&] {
+        profile::EdgeProfile p;
+        // The caller->mid edge is hottest, so it is inlined *first*;
+        // the leaf call copied into caller only gets revisited if it
+        // inherits a scaled count.
+        p.addDirect(mid_site, 2000);
+        p.addDirect(leaf_site, 1000);
+        p.addInvocation(mid, 2000);
+        p.addInvocation(leaf, 1000);
+        return p;
+    };
+    // The leaf-in-mid original is inlined either way (it is a first-
+    // class candidate); what differs is the copy inherited into caller.
+    opt::PibeInlinerConfig with, without;
+    with.budget = without.budget = 1.0;
+    with.cleanup_callers = without.cleanup_callers = false;
+    without.propagate_inherited_counts = false;
+
+    Module m1 = m;
+    auto p1 = make_profile();
+    auto audit_with = opt::runPibeInliner(m1, p1, with);
+    Module m2 = m;
+    auto p2 = make_profile();
+    auto audit_without = opt::runPibeInliner(m2, p2, without);
+    EXPECT_GT(audit_with.inlined_weight, audit_without.inlined_weight);
+}
+
+TEST(KernelInfoRecovery, RoundTripsThroughText)
+{
+    kernel::KernelConfig cfg;
+    cfg.num_drivers = 8;
+    kernel::KernelImage k = kernel::buildKernel(cfg);
+    Module parsed = ir::parseModule(ir::printModule(k.module));
+    kernel::KernelInfo info = kernel::kernelInfoFromModule(parsed);
+    EXPECT_EQ(parsed.func(info.sys_dispatch).name, "sys_dispatch");
+    EXPECT_EQ(info.num_drivers, 8u);
+    EXPECT_EQ(parsed.global(info.kmem).name, "kmem");
+
+    // And the recovered handles actually drive the kernel.
+    uarch::Simulator sim(parsed);
+    sim.setTimingEnabled(false);
+    workload::KernelHandle handle(sim, info);
+    handle.boot();
+    EXPECT_EQ(handle.syscall(kernel::sysno::kNull), 1);
+}
+
+TEST(KernelInfoRecoveryDeath, RejectsNonKernelModules)
+{
+    Module m;
+    ir::FuncId f = m.addFunction("not_a_kernel", 0);
+    FunctionBuilder b(m, f);
+    b.ret(b.constI(0));
+    EXPECT_DEATH(kernel::kernelInfoFromModule(m),
+                 "not a synthetic kernel");
+}
+
+TEST(OptConfigFactories, ExposePaperConfigurations)
+{
+    auto none = core::OptConfig::none();
+    EXPECT_FALSE(none.enable_icp);
+    EXPECT_EQ(none.inliner, core::InlinerKind::kNone);
+
+    auto icp = core::OptConfig::icpOnly(0.99);
+    EXPECT_TRUE(icp.enable_icp);
+    EXPECT_DOUBLE_EQ(icp.icp_budget, 0.99);
+    EXPECT_EQ(icp.inliner, core::InlinerKind::kNone);
+
+    auto lax = core::OptConfig::icpAndInline(0.999999, true);
+    EXPECT_TRUE(lax.lax_heuristics);
+    EXPECT_DOUBLE_EQ(lax.inline_budget, 0.999999);
+    EXPECT_EQ(lax.inliner, core::InlinerKind::kPibe);
+}
+
+} // namespace
+} // namespace pibe

@@ -1,0 +1,325 @@
+/** @file Tests for the inlining transformation mechanics. */
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "opt/inline_core.h"
+#include "tests/test_util.h"
+
+namespace pibe {
+namespace {
+
+using ir::BinKind;
+using ir::FunctionBuilder;
+using ir::Module;
+using ir::Opcode;
+
+/** Find the first kCall site id in a function. */
+ir::SiteId
+firstCallSite(const ir::Function& f)
+{
+    for (const auto& bb : f.blocks) {
+        for (const auto& inst : bb.insts) {
+            if (inst.op == Opcode::kCall)
+                return inst.site_id;
+        }
+    }
+    return ir::kNoSite;
+}
+
+size_t
+countCalls(const ir::Function& f)
+{
+    size_t n = 0;
+    for (const auto& bb : f.blocks) {
+        for (const auto& inst : bb.insts)
+            n += (inst.op == Opcode::kCall);
+    }
+    return n;
+}
+
+TEST(InlineCore, InlinesSimpleCallee)
+{
+    Module m;
+    ir::FuncId callee = m.addFunction("callee", 1);
+    {
+        FunctionBuilder b(m, callee);
+        b.ret(b.binImm(BinKind::kMul, b.param(0), 3));
+    }
+    ir::FuncId caller = m.addFunction("caller", 1);
+    {
+        FunctionBuilder b(m, caller);
+        ir::Reg r = b.call(callee, {b.param(0)});
+        b.ret(b.binImm(BinKind::kAdd, r, 1));
+    }
+    auto before = test::runFunction(m, caller, {5});
+    auto outcome = opt::inlineCallSite(m, caller,
+                                       firstCallSite(m.func(caller)));
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_TRUE(test::verifies(m));
+    EXPECT_EQ(countCalls(m.func(caller)), 0u);
+    EXPECT_EQ(test::runFunction(m, caller, {5}), before);
+    EXPECT_EQ(test::runFunction(m, caller, {5}).result, 16);
+}
+
+TEST(InlineCore, HandlesVoidStyleReturn)
+{
+    Module m;
+    m.addGlobal("g", {0});
+    ir::FuncId callee = m.addFunction("store7", 0);
+    {
+        FunctionBuilder b(m, callee);
+        ir::Reg z = b.constI(0);
+        ir::Reg seven = b.constI(7);
+        b.store(0, z, seven);
+        b.ret(); // void return
+    }
+    ir::FuncId caller = m.addFunction("caller", 0);
+    {
+        FunctionBuilder b(m, caller);
+        b.call(callee);
+        ir::Reg z = b.constI(0);
+        ir::Reg v = b.load(0, z);
+        b.ret(v);
+    }
+    auto outcome = opt::inlineCallSite(m, caller,
+                                       firstCallSite(m.func(caller)));
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_TRUE(test::verifies(m));
+    EXPECT_EQ(test::runFunction(m, caller, {}).result, 7);
+}
+
+TEST(InlineCore, MultipleReturnPaths)
+{
+    Module m;
+    ir::FuncId callee = m.addFunction("abs_like", 1);
+    {
+        FunctionBuilder b(m, callee);
+        ir::Reg neg = b.binImm(BinKind::kLt, b.param(0), 0);
+        ir::BlockId n = b.newBlock();
+        ir::BlockId p = b.newBlock();
+        b.condBr(neg, n, p);
+        b.setBlock(n);
+        ir::Reg z = b.constI(0);
+        b.ret(b.bin(BinKind::kSub, z, b.param(0)));
+        b.setBlock(p);
+        b.ret(b.param(0));
+    }
+    ir::FuncId caller = m.addFunction("caller", 1);
+    {
+        FunctionBuilder b(m, caller);
+        ir::Reg r = b.call(callee, {b.param(0)});
+        b.ret(r);
+    }
+    auto outcome = opt::inlineCallSite(m, caller,
+                                       firstCallSite(m.func(caller)));
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_TRUE(test::verifies(m));
+    EXPECT_EQ(test::runFunction(m, caller, {-9}).result, 9);
+    EXPECT_EQ(test::runFunction(m, caller, {4}).result, 4);
+}
+
+TEST(InlineCore, RemapsFrameSlots)
+{
+    Module m;
+    ir::FuncId callee = m.addFunction("uses_frame", 1);
+    {
+        FunctionBuilder b(m, callee);
+        uint32_t s = b.newFrameSlot();
+        b.frameStore(s, b.param(0));
+        b.ret(b.frameLoad(s));
+    }
+    ir::FuncId caller = m.addFunction("caller", 1);
+    {
+        FunctionBuilder b(m, caller);
+        uint32_t s = b.newFrameSlot();
+        b.frameStore(s, b.param(0));
+        ir::Reg r = b.call(callee, {b.binImm(BinKind::kAdd,
+                                             b.param(0), 100)});
+        ir::Reg mine = b.frameLoad(s);
+        b.ret(b.bin(BinKind::kAdd, r, mine));
+    }
+    uint32_t caller_frame = m.func(caller).frame_size;
+    auto outcome = opt::inlineCallSite(m, caller,
+                                       firstCallSite(m.func(caller)));
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_TRUE(test::verifies(m));
+    // Caller's frame grew by the callee's.
+    EXPECT_EQ(m.func(caller).frame_size, caller_frame + 1);
+    // (x+100) + x with x=5 -> 110.
+    EXPECT_EQ(test::runFunction(m, caller, {5}).result, 110);
+}
+
+TEST(InlineCore, ReportsInheritedSitesWithFreshIds)
+{
+    Module m;
+    ir::FuncId leaf = m.addFunction("leaf", 0);
+    {
+        FunctionBuilder b(m, leaf);
+        b.ret(b.constI(1));
+    }
+    ir::FuncId mid = m.addFunction("mid", 0);
+    ir::SiteId mid_call_site;
+    {
+        FunctionBuilder b(m, mid);
+        ir::Reg r = b.call(leaf);
+        mid_call_site = firstCallSite(m.func(mid));
+        ir::Reg t = b.funcAddr(leaf);
+        ir::Reg r2 = b.icall(t, {});
+        b.ret(b.bin(BinKind::kAdd, r, r2));
+    }
+    ir::FuncId caller = m.addFunction("caller", 0);
+    {
+        FunctionBuilder b(m, caller);
+        ir::Reg r = b.call(mid);
+        b.ret(r);
+    }
+    ir::SiteId bound_before = m.siteIdBound();
+    auto outcome = opt::inlineCallSite(m, caller,
+                                       firstCallSite(m.func(caller)));
+    ASSERT_TRUE(outcome.ok);
+    ASSERT_EQ(outcome.inherited.size(), 2u);
+    // One direct (leaf) and one indirect inherited site.
+    int direct = 0, indirect = 0;
+    for (const auto& inh : outcome.inherited) {
+        EXPECT_GE(inh.new_site, bound_before); // fresh ids
+        if (inh.indirect) {
+            ++indirect;
+        } else {
+            ++direct;
+            EXPECT_EQ(inh.callee_site, mid_call_site);
+        }
+    }
+    EXPECT_EQ(direct, 1);
+    EXPECT_EQ(indirect, 1);
+    EXPECT_TRUE(test::verifies(m));
+    EXPECT_EQ(test::runFunction(m, caller, {}).result, 2);
+}
+
+TEST(InlineCore, RefusesNoInlineCallee)
+{
+    Module m;
+    ir::FuncId callee =
+        m.addFunction("stubborn", 0, ir::kAttrNoInline);
+    {
+        FunctionBuilder b(m, callee);
+        b.ret(b.constI(0));
+    }
+    ir::FuncId caller = m.addFunction("caller", 0);
+    {
+        FunctionBuilder b(m, caller);
+        ir::Reg r = b.call(callee);
+        b.ret(r);
+    }
+    auto outcome = opt::inlineCallSite(m, caller,
+                                       firstCallSite(m.func(caller)));
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_STREQ(outcome.reason, "callee is noinline");
+}
+
+TEST(InlineCore, RefusesOptNoneCaller)
+{
+    Module m;
+    ir::FuncId callee = m.addFunction("callee", 0);
+    {
+        FunctionBuilder b(m, callee);
+        b.ret(b.constI(0));
+    }
+    ir::FuncId caller = m.addFunction("caller", 0, ir::kAttrOptNone);
+    {
+        FunctionBuilder b(m, caller);
+        ir::Reg r = b.call(callee);
+        b.ret(r);
+    }
+    auto outcome = opt::inlineCallSite(m, caller,
+                                       firstCallSite(m.func(caller)));
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_STREQ(outcome.reason, "caller is optnone");
+}
+
+TEST(InlineCore, RefusesSelfRecursion)
+{
+    Module m;
+    ir::FuncId f = m.addFunction("f", 1);
+    {
+        FunctionBuilder b(m, f);
+        ir::Reg stop = b.binImm(BinKind::kLe, b.param(0), 0);
+        ir::BlockId base = b.newBlock();
+        ir::BlockId rec = b.newBlock();
+        b.condBr(stop, base, rec);
+        b.setBlock(base);
+        b.ret(b.constI(0));
+        b.setBlock(rec);
+        ir::Reg r = b.call(f, {b.binImm(BinKind::kSub, b.param(0), 1)});
+        b.ret(r);
+    }
+    auto outcome =
+        opt::inlineCallSite(m, f, firstCallSite(m.func(f)));
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_STREQ(outcome.reason, "self-recursive call");
+}
+
+TEST(InlineCore, RefusesDeclaration)
+{
+    Module m;
+    ir::FuncId ext = m.addFunction("external", 0, ir::kAttrExternal);
+    ir::FuncId caller = m.addFunction("caller", 0);
+    {
+        FunctionBuilder b(m, caller);
+        ir::Reg r = b.call(ext);
+        b.ret(r);
+    }
+    auto outcome = opt::inlineCallSite(m, caller,
+                                       firstCallSite(m.func(caller)));
+    EXPECT_FALSE(outcome.ok);
+}
+
+TEST(InlineCore, UnknownSiteFailsGracefully)
+{
+    Module m;
+    ir::FuncId f = m.addFunction("f", 0);
+    {
+        FunctionBuilder b(m, f);
+        b.ret(b.constI(0));
+    }
+    auto outcome = opt::inlineCallSite(m, f, 424242);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_STREQ(outcome.reason, "site not found");
+}
+
+/** Property: inlining every inlinable site preserves semantics. */
+class InlineCoreProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(InlineCoreProperty, ExhaustiveInliningPreservesSemantics)
+{
+    test::GenConfig cfg;
+    cfg.seed = GetParam();
+    Module m = test::generateModule(cfg);
+    ir::FuncId main = test::generatedMain(m);
+    auto before = test::runScript(m, main, test::argMatrix());
+
+    // Inline main's direct call sites repeatedly (bounded rounds).
+    for (int round = 0; round < 4; ++round) {
+        std::vector<ir::SiteId> sites;
+        for (const auto& bb : m.func(main).blocks) {
+            for (const auto& inst : bb.insts) {
+                if (inst.op == Opcode::kCall)
+                    sites.push_back(inst.site_id);
+            }
+        }
+        if (sites.empty())
+            break;
+        for (ir::SiteId s : sites)
+            opt::inlineCallSite(m, main, s);
+        ASSERT_TRUE(test::verifies(m));
+    }
+    auto after = test::runScript(m, main, test::argMatrix());
+    EXPECT_EQ(before, after);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InlineCoreProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace
+} // namespace pibe

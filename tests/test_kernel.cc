@@ -1,0 +1,367 @@
+/** @file Functional tests for the synthetic kernel. */
+#include <gtest/gtest.h>
+
+#include "analysis/layout.h"
+#include "ir/verifier.h"
+#include "kernel/kernel.h"
+#include "uarch/simulator.h"
+#include "workload/workload.h"
+
+namespace pibe {
+namespace {
+
+using kernel::KernelConfig;
+using kernel::KernelImage;
+using kernel::KernelLayout;
+namespace sysno = kernel::sysno;
+namespace proto = kernel::proto;
+
+/** Small kernel configuration to keep unit tests fast. */
+KernelConfig
+testConfig()
+{
+    KernelConfig cfg;
+    cfg.num_drivers = 8;
+    return cfg;
+}
+
+class KernelTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        image_ = new KernelImage(kernel::buildKernel(testConfig()));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete image_;
+        image_ = nullptr;
+    }
+
+    void
+    SetUp() override
+    {
+        sim_ = std::make_unique<uarch::Simulator>(image_->module);
+        sim_->setTimingEnabled(false);
+        handle_ = std::make_unique<workload::KernelHandle>(
+            *sim_, image_->info);
+        handle_->boot();
+    }
+
+    int64_t
+    sys(int64_t nr, int64_t a0 = 0, int64_t a1 = 0, int64_t a2 = 0)
+    {
+        return handle_->syscall(nr, a0, a1, a2);
+    }
+
+    int64_t
+    user(int64_t off)
+    {
+        return sim_->readGlobal(image_->info.kmem,
+                                KernelLayout::kUserBase + off);
+    }
+
+    void
+    setUser(int64_t off, int64_t v)
+    {
+        sim_->writeGlobal(image_->info.kmem,
+                          KernelLayout::kUserBase + off, v);
+    }
+
+    static KernelImage* image_;
+    std::unique_ptr<uarch::Simulator> sim_;
+    std::unique_ptr<workload::KernelHandle> handle_;
+};
+
+KernelImage* KernelTest::image_ = nullptr;
+
+TEST_F(KernelTest, ModuleVerifies)
+{
+    EXPECT_TRUE(ir::verifyModule(image_->module).empty());
+}
+
+TEST_F(KernelTest, BuildIsDeterministic)
+{
+    KernelImage a = kernel::buildKernel(testConfig());
+    KernelImage b = kernel::buildKernel(testConfig());
+    EXPECT_EQ(a.module.numFunctions(), b.module.numFunctions());
+    EXPECT_EQ(a.module.siteIdBound(), b.module.siteIdBound());
+    EXPECT_EQ(analysis::CodeLayout(a.module).imageSize(),
+              analysis::CodeLayout(b.module).imageSize());
+}
+
+TEST_F(KernelTest, NullSyscallReturnsPid)
+{
+    EXPECT_EQ(sys(sysno::kNull), 1); // init task pid
+}
+
+TEST_F(KernelTest, GetpidMatchesNull)
+{
+    EXPECT_EQ(sys(sysno::kGetpid), sys(sysno::kNull));
+}
+
+TEST_F(KernelTest, UnknownSyscallReturnsMinusOne)
+{
+    EXPECT_EQ(sys(sysno::kCount + 3), -1);
+}
+
+TEST_F(KernelTest, OpenValidPathYieldsFd)
+{
+    int64_t fd = sys(sysno::kOpen, workload::KernelHandle::pathHash(0));
+    EXPECT_GE(fd, 3); // 0-2 reserved
+    EXPECT_EQ(sys(sysno::kClose, fd), 0);
+}
+
+TEST_F(KernelTest, OpenBadPathFails)
+{
+    EXPECT_EQ(sys(sysno::kOpen, 987654321), -1);
+}
+
+TEST_F(KernelTest, FdTableExhaustionAndRecovery)
+{
+    std::vector<int64_t> fds;
+    while (true) {
+        int64_t fd =
+            sys(sysno::kOpen, workload::KernelHandle::pathHash(1));
+        if (fd < 0)
+            break;
+        fds.push_back(fd);
+        ASSERT_LE(fds.size(), 70u); // must exhaust at some point
+    }
+    EXPECT_GE(fds.size(), 32u);
+    for (int64_t fd : fds)
+        EXPECT_EQ(sys(sysno::kClose, fd), 0);
+    EXPECT_GE(sys(sysno::kOpen, workload::KernelHandle::pathHash(1)), 3);
+}
+
+TEST_F(KernelTest, WriteThenReadRoundTripsData)
+{
+    int64_t fd = sys(sysno::kOpen, workload::KernelHandle::pathHash(2));
+    ASSERT_GE(fd, 0);
+    // Place a recognizable pattern in the user buffer and write it.
+    for (int64_t i = 0; i < 8; ++i)
+        setUser(i, 7000 + i);
+    EXPECT_EQ(sys(sysno::kWrite, fd, 0, 8), 8);
+    // Rewind and read into a different user window.
+    EXPECT_EQ(sys(sysno::kLseek, fd, 0), 0);
+    EXPECT_EQ(sys(sysno::kRead, fd, 64, 8), 8);
+    for (int64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(user(64 + i), 7000 + i) << "word " << i;
+}
+
+TEST_F(KernelTest, ReadOnBadFdFails)
+{
+    EXPECT_EQ(sys(sysno::kRead, 55, 0, 4), -1);
+}
+
+TEST_F(KernelTest, StatAndFstat)
+{
+    EXPECT_GE(sys(sysno::kStat, workload::KernelHandle::pathHash(3), 128),
+              0);
+    int64_t fd = sys(sysno::kOpen, workload::KernelHandle::pathHash(3));
+    EXPECT_GE(sys(sysno::kFstat, fd, 160), 0);
+    EXPECT_EQ(sys(sysno::kStat, 111111, 128), -1);
+}
+
+TEST_F(KernelTest, PipeRoundTripsData)
+{
+    int64_t pair = sys(sysno::kPipe);
+    ASSERT_GE(pair, 0);
+    int64_t rfd = pair & 0xffff;
+    int64_t wfd = (pair >> 16) & 0xffff;
+    for (int64_t i = 0; i < 4; ++i)
+        setUser(i, 42 + i);
+    EXPECT_EQ(sys(sysno::kWrite, wfd, 0, 4), 4);
+    EXPECT_EQ(sys(sysno::kRead, rfd, 32, 4), 4);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(user(32 + i), 42 + i);
+    // Draining an empty pipe reads zero words.
+    EXPECT_EQ(sys(sysno::kRead, rfd, 32, 4), 0);
+}
+
+TEST_F(KernelTest, UnixSocketsDeliverData)
+{
+    int64_t a = sys(sysno::kSocket, proto::kUnix);
+    int64_t b = sys(sysno::kSocket, proto::kUnix);
+    ASSERT_GE(a, 0);
+    ASSERT_GE(b, 0);
+    EXPECT_EQ(sys(sysno::kConnect, a, b), 0);
+    for (int64_t i = 0; i < 6; ++i)
+        setUser(i, 900 + i);
+    EXPECT_EQ(sys(sysno::kSend, a, 0, 6), 6);
+    EXPECT_EQ(sys(sysno::kRecv, b, 48, 6), 6);
+    for (int64_t i = 0; i < 6; ++i)
+        EXPECT_EQ(user(48 + i), 900 + i);
+}
+
+TEST_F(KernelTest, TcpDeliversThroughLoopbackStack)
+{
+    int64_t a = sys(sysno::kSocket, proto::kTcp);
+    int64_t b = sys(sysno::kSocket, proto::kTcp);
+    EXPECT_EQ(sys(sysno::kConnect, a, b), 0);
+    setUser(0, 31337);
+    EXPECT_EQ(sys(sysno::kSend, a, 0, 1), 1);
+    EXPECT_EQ(sys(sysno::kRecv, b, 16, 1), 1);
+    EXPECT_EQ(user(16), 31337);
+}
+
+TEST_F(KernelTest, TcpAcceptCreatesNewFd)
+{
+    int64_t listener = sys(sysno::kSocket, proto::kTcp);
+    int64_t client = sys(sysno::kSocket, proto::kTcp);
+    EXPECT_EQ(sys(sysno::kConnect, client, listener), 0);
+    int64_t conn = sys(sysno::kAccept, listener);
+    EXPECT_GE(conn, 0);
+    EXPECT_NE(conn, listener);
+    EXPECT_EQ(sys(sysno::kClose, conn), 0);
+}
+
+TEST_F(KernelTest, SocketTableExhaustionRecoversViaClose)
+{
+    std::vector<int64_t> fds;
+    for (int i = 0; i < 80; ++i) {
+        int64_t fd = sys(sysno::kSocket, proto::kUdp);
+        if (fd < 0)
+            break;
+        fds.push_back(fd);
+    }
+    EXPECT_GE(fds.size(), 30u);
+    for (int64_t fd : fds)
+        sys(sysno::kClose, fd);
+    EXPECT_GE(sys(sysno::kSocket, proto::kUdp), 0);
+}
+
+TEST_F(KernelTest, SelectCountsReadyFiles)
+{
+    // Regular files always poll ready.
+    for (int64_t i = 0; i < 4; ++i) {
+        int64_t fd =
+            sys(sysno::kOpen, workload::KernelHandle::pathHash(4 + i));
+        ASSERT_GE(fd, 0);
+        setUser(200 + i, fd);
+    }
+    EXPECT_EQ(sys(sysno::kSelect, 4, 200), 4);
+}
+
+TEST_F(KernelTest, SelectOnIdleSocketsIsZero)
+{
+    int64_t s = sys(sysno::kSocket, proto::kTcp);
+    setUser(210, s);
+    EXPECT_EQ(sys(sysno::kSelect, 1, 210), 0); // nothing queued
+}
+
+TEST_F(KernelTest, ForkReturnsFreshPidAndExitReaps)
+{
+    int64_t pid1 = sys(sysno::kFork);
+    EXPECT_GE(pid1, 2);
+    int64_t pid2 = sys(sysno::kFork);
+    EXPECT_NE(pid1, pid2);
+    EXPECT_EQ(sys(sysno::kExit, pid1), 0);
+    EXPECT_EQ(sys(sysno::kExit, pid2), 0);
+    EXPECT_EQ(sys(sysno::kExit, pid1), -1); // already gone
+}
+
+TEST_F(KernelTest, ExecLoadsBinary)
+{
+    EXPECT_EQ(sys(sysno::kExec, workload::KernelHandle::pathHash(5)), 0);
+    EXPECT_EQ(sys(sysno::kExec, 123456789), -1); // no such path
+}
+
+TEST_F(KernelTest, MmapThenFaultThenMunmap)
+{
+    EXPECT_EQ(sys(sysno::kMmap, 4096, 128), 4096);
+    EXPECT_EQ(sys(sysno::kPageFault, 4100), 0);
+    EXPECT_EQ(sys(sysno::kPageFault, 99999), -1); // unmapped
+    EXPECT_EQ(sys(sysno::kMunmap, 4096, 128), 0);
+    EXPECT_EQ(sys(sysno::kPageFault, 4100), -1); // gone
+}
+
+TEST_F(KernelTest, SignalDeliveryRunsUserHandler)
+{
+    // Handler 1 increments user[100] on delivery.
+    EXPECT_EQ(sys(sysno::kSigaction, 5, 1), 0);
+    int64_t before = user(100);
+    EXPECT_EQ(sys(sysno::kKill, 1, 5), 0); // signal ourselves
+    EXPECT_EQ(user(100), before + 1);      // delivered at exit work
+}
+
+TEST_F(KernelTest, KillUnknownPidFails)
+{
+    EXPECT_EQ(sys(sysno::kKill, 5555, 5), -1);
+}
+
+TEST_F(KernelTest, YieldIsHarmless)
+{
+    EXPECT_EQ(sys(sysno::kYield), 0);
+    EXPECT_EQ(sys(sysno::kNull), 1); // still task 0
+}
+
+TEST_F(KernelTest, BootIsIdempotent)
+{
+    handle_->boot();
+    handle_->boot();
+    EXPECT_EQ(sys(sysno::kNull), 1);
+}
+
+TEST_F(KernelTest, HasParavirtAsmCallSites)
+{
+    uint32_t asm_icalls = 0;
+    uint32_t asm_switches = 0;
+    for (const auto& f : image_->module.functions()) {
+        for (const auto& bb : f.blocks) {
+            for (const auto& inst : bb.insts) {
+                if (inst.is_asm) {
+                    if (inst.op == ir::Opcode::kICall)
+                        ++asm_icalls;
+                    if (inst.op == ir::Opcode::kSwitch)
+                        ++asm_switches;
+                }
+            }
+        }
+    }
+    // Paravirt hypercall sites and assembly dispatch switches exist
+    // (Table 11's vulnerable forward edges).
+    EXPECT_GE(asm_icalls, 4u);
+    EXPECT_EQ(asm_switches, 5u);
+}
+
+TEST_F(KernelTest, HasBootSectionAndAttributeCarriers)
+{
+    bool boot = false, noinline_attr = false, optnone = false;
+    for (const auto& f : image_->module.functions()) {
+        boot |= f.hasAttr(ir::kAttrBootSection);
+        noinline_attr |= f.hasAttr(ir::kAttrNoInline);
+        optnone |= f.hasAttr(ir::kAttrOptNone);
+    }
+    EXPECT_TRUE(boot);
+    EXPECT_TRUE(noinline_attr);
+    EXPECT_TRUE(optnone);
+}
+
+TEST_F(KernelTest, DriverCountScalesFunctions)
+{
+    KernelConfig big = testConfig();
+    big.num_drivers = 16;
+    KernelImage bigger = kernel::buildKernel(big);
+    EXPECT_GT(bigger.module.numFunctions(),
+              image_->module.numFunctions());
+}
+
+TEST_F(KernelTest, SyscallTableDispatchesIndirectly)
+{
+    // The dispatch function must contain exactly one indirect call.
+    const ir::Function& d =
+        image_->module.func(image_->info.sys_dispatch);
+    uint32_t icalls = 0;
+    for (const auto& bb : d.blocks) {
+        for (const auto& inst : bb.insts)
+            icalls += (inst.op == ir::Opcode::kICall);
+    }
+    EXPECT_EQ(icalls, 1u);
+}
+
+} // namespace
+} // namespace pibe

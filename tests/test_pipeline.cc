@@ -1,0 +1,340 @@
+/** @file Integration tests: the full PIBE pipeline on the kernel. */
+#include <gtest/gtest.h>
+
+#include "analysis/layout.h"
+#include "ir/verifier.h"
+#include "kernel/kernel.h"
+#include "pibe/experiment.h"
+#include "pibe/pipeline.h"
+#include "tests/test_util.h"
+#include "workload/workload.h"
+
+namespace pibe {
+namespace {
+
+namespace sysno = kernel::sysno;
+namespace proto = kernel::proto;
+using core::BuildReport;
+using core::InlinerKind;
+using core::OptConfig;
+using harden::DefenseConfig;
+
+kernel::KernelConfig
+testConfig()
+{
+    kernel::KernelConfig cfg;
+    cfg.num_drivers = 8;
+    return cfg;
+}
+
+/**
+ * A fixed syscall script covering every subsystem; used to compare
+ * behaviour across images. Returns (return values..., final sink hash).
+ */
+std::vector<int64_t>
+runKernelScript(const ir::Module& image, const kernel::KernelInfo& info)
+{
+    uarch::Simulator sim(image);
+    sim.setTimingEnabled(false);
+    workload::KernelHandle k(sim, info);
+    k.boot();
+    std::vector<int64_t> out;
+    auto record = [&](int64_t v) { out.push_back(v); };
+
+    record(k.syscall(sysno::kNull));
+    int64_t fd =
+        k.syscall(sysno::kOpen, workload::KernelHandle::pathHash(0));
+    record(fd);
+    for (int64_t i = 0; i < 6; ++i) {
+        sim.writeGlobal(info.kmem,
+                        kernel::KernelLayout::kUserBase + i, 500 + i);
+    }
+    record(k.syscall(sysno::kWrite, fd, 0, 6));
+    record(k.syscall(sysno::kLseek, fd, 0));
+    record(k.syscall(sysno::kRead, fd, 32, 6));
+    for (int64_t i = 0; i < 6; ++i) {
+        record(sim.readGlobal(info.kmem,
+                              kernel::KernelLayout::kUserBase + 32 + i));
+    }
+    record(k.syscall(sysno::kStat,
+                     workload::KernelHandle::pathHash(1), 64));
+    int64_t s1 = k.syscall(sysno::kSocket, proto::kTcp);
+    int64_t s2 = k.syscall(sysno::kSocket, proto::kTcp);
+    record(k.syscall(sysno::kConnect, s1, s2));
+    record(k.syscall(sysno::kSend, s1, 0, 4));
+    record(k.syscall(sysno::kRecv, s2, 48, 4));
+    int64_t pid = k.syscall(sysno::kFork);
+    record(pid);
+    record(k.syscall(sysno::kExec,
+                     workload::KernelHandle::pathHash(2)));
+    record(k.syscall(sysno::kExit, pid));
+    record(k.syscall(sysno::kMmap, 4096, 64));
+    record(k.syscall(sysno::kPageFault, 4100));
+    record(k.syscall(sysno::kSigaction, 5, 1));
+    record(k.syscall(sysno::kKill, 1, 5));
+    record(k.syscall(sysno::kSelect, 2, 200));
+    record(k.syscall(sysno::kClose, fd));
+    record(static_cast<int64_t>(sim.sinkHash()));
+    return out;
+}
+
+class PipelineTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        image_ = new kernel::KernelImage(
+            kernel::buildKernel(testConfig()));
+        auto suite = workload::makeLmbenchSuite();
+        profile_ = new profile::EdgeProfile(core::collectProfile(
+            image_->module, image_->info, suite, 30));
+        reference_ = new std::vector<int64_t>(
+            runKernelScript(image_->module, image_->info));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete image_;
+        delete profile_;
+        delete reference_;
+        image_ = nullptr;
+        profile_ = nullptr;
+        reference_ = nullptr;
+    }
+
+    static kernel::KernelImage* image_;
+    static profile::EdgeProfile* profile_;
+    static std::vector<int64_t>* reference_;
+};
+
+kernel::KernelImage* PipelineTest::image_ = nullptr;
+profile::EdgeProfile* PipelineTest::profile_ = nullptr;
+std::vector<int64_t>* PipelineTest::reference_ = nullptr;
+
+TEST_F(PipelineTest, BaselineScriptIsDeterministic)
+{
+    EXPECT_EQ(runKernelScript(image_->module, image_->info),
+              *reference_);
+}
+
+TEST_F(PipelineTest, FullPipelinePreservesKernelBehaviour)
+{
+    BuildReport report;
+    ir::Module optimized =
+        core::buildImage(image_->module, *profile_,
+                         OptConfig::icpAndInline(0.999),
+                         DefenseConfig::all(), &report);
+    EXPECT_TRUE(ir::verifyModule(optimized).empty());
+    EXPECT_EQ(runKernelScript(optimized, image_->info), *reference_);
+    EXPECT_GT(report.inlining.inlined_sites, 0u);
+    EXPECT_GT(report.icp.promoted_sites, 0u);
+}
+
+TEST_F(PipelineTest, DefaultInlinerAlsoPreservesBehaviour)
+{
+    OptConfig cfg = OptConfig::icpAndInline(0.999);
+    cfg.inliner = InlinerKind::kDefaultLlvm;
+    ir::Module optimized = core::buildImage(
+        image_->module, *profile_, cfg, DefenseConfig::all());
+    EXPECT_EQ(runKernelScript(optimized, image_->info), *reference_);
+}
+
+TEST_F(PipelineTest, LaxHeuristicsPreserveBehaviour)
+{
+    ir::Module optimized = core::buildImage(
+        image_->module, *profile_,
+        OptConfig::icpAndInline(0.999999, /*lax=*/true),
+        DefenseConfig::all());
+    EXPECT_EQ(runKernelScript(optimized, image_->info), *reference_);
+}
+
+TEST_F(PipelineTest, DefenseOverheadOrdering)
+{
+    auto cycles_for = [&](const OptConfig& opt,
+                          const DefenseConfig& def) {
+        ir::Module img =
+            core::buildImage(image_->module, *profile_, opt, def);
+        auto wl = workload::makeLmbenchTest("read");
+        core::MeasureConfig mc;
+        mc.warmup_iters = 30;
+        mc.measure_iters = 80;
+        return core::measureWorkload(img, image_->info, *wl, mc)
+            .latency_us;
+    };
+    double base = cycles_for(OptConfig::none(), DefenseConfig::none());
+    double retp =
+        cycles_for(OptConfig::none(), DefenseConfig::retpolinesOnly());
+    double all = cycles_for(OptConfig::none(), DefenseConfig::all());
+    double all_opt = cycles_for(OptConfig::icpAndInline(0.999),
+                                DefenseConfig::all());
+    EXPECT_LT(base, retp);
+    EXPECT_LT(retp, all);
+    EXPECT_LT(all_opt, all);
+    // PIBE recovers most of the overhead (§8.3's headline claim).
+    EXPECT_LT((all_opt - base) / base, 0.5 * (all - base) / base);
+}
+
+TEST_F(PipelineTest, IcpBudgetIsMonotoneInPromotedWeight)
+{
+    uint64_t prev = 0;
+    for (double budget : {0.5, 0.9, 0.99, 0.99999}) {
+        BuildReport report;
+        core::buildImage(image_->module, *profile_,
+                         OptConfig::icpOnly(budget),
+                         DefenseConfig::retpolinesOnly(), &report);
+        EXPECT_GE(report.icp.promoted_weight, prev);
+        prev = report.icp.promoted_weight;
+    }
+}
+
+TEST_F(PipelineTest, InlineBudgetIsMonotoneInEligibleWeight)
+{
+    uint64_t prev = 0;
+    for (double budget : {0.5, 0.9, 0.99, 0.999, 0.999999}) {
+        BuildReport report;
+        core::buildImage(image_->module, *profile_,
+                         OptConfig::icpAndInline(budget),
+                         DefenseConfig::all(), &report);
+        EXPECT_GE(report.inlining.eligible_weight, prev);
+        prev = report.inlining.eligible_weight;
+    }
+}
+
+TEST_F(PipelineTest, ImageSizeGrowsWithInlineBudget)
+{
+    BuildReport low, high;
+    core::buildImage(image_->module, *profile_,
+                     OptConfig::icpAndInline(0.9),
+                     DefenseConfig::all(), &low);
+    core::buildImage(image_->module, *profile_,
+                     OptConfig::icpAndInline(0.999999),
+                     DefenseConfig::all(), &high);
+    EXPECT_GE(high.image_size, low.image_size);
+    EXPECT_GT(low.image_size, low.baseline_image_size);
+}
+
+TEST_F(PipelineTest, CoverageAccountsAllReturns)
+{
+    BuildReport report;
+    ir::Module img = core::buildImage(image_->module, *profile_,
+                                      OptConfig::icpAndInline(0.999),
+                                      DefenseConfig::all(), &report);
+    uint32_t total_rets = 0;
+    for (const auto& f : img.functions()) {
+        for (const auto& bb : f.blocks) {
+            for (const auto& inst : bb.insts)
+                total_rets += (inst.op == ir::Opcode::kRet);
+        }
+    }
+    EXPECT_EQ(report.coverage.protected_rets +
+                  report.coverage.boot_only_rets,
+              total_rets);
+}
+
+TEST_F(PipelineTest, VulnerableICallsAreExactlyAsmSites)
+{
+    BuildReport report;
+    ir::Module img = core::buildImage(image_->module, *profile_,
+                                      OptConfig::icpAndInline(0.999),
+                                      DefenseConfig::all(), &report);
+    uint32_t asm_sites = 0;
+    for (const auto& f : img.functions()) {
+        for (const auto& bb : f.blocks) {
+            for (const auto& inst : bb.insts) {
+                asm_sites += (inst.op == ir::Opcode::kICall &&
+                              inst.is_asm);
+            }
+        }
+    }
+    EXPECT_EQ(report.coverage.vulnerable_icalls, asm_sites);
+}
+
+TEST_F(PipelineTest, InliningDuplicatesAsmSitesAtHigherBudgets)
+{
+    BuildReport none, high;
+    core::buildImage(image_->module, *profile_, OptConfig::none(),
+                     DefenseConfig::all(), &none);
+    core::buildImage(image_->module, *profile_,
+                     OptConfig::icpAndInline(0.999999),
+                     DefenseConfig::all(), &high);
+    // Table 11: vulnerable icall count grows with the budget because
+    // inlining copies paravirt call sites.
+    EXPECT_GE(high.coverage.vulnerable_icalls,
+              none.coverage.vulnerable_icalls);
+    // Protected icalls also grow (duplicated hardened sites).
+    EXPECT_GE(high.coverage.protected_icalls,
+              none.coverage.protected_icalls);
+}
+
+TEST_F(PipelineTest, JumpSwitchImageRunsAndIsFasterThanRetpolines)
+{
+    ir::Module retp = core::buildImage(image_->module, *profile_,
+                                       OptConfig::none(),
+                                       DefenseConfig::retpolinesOnly());
+    ir::Module js = core::buildImage(image_->module, *profile_,
+                                     OptConfig::none(),
+                                     DefenseConfig::jumpSwitches());
+    EXPECT_EQ(runKernelScript(js, image_->info), *reference_);
+    auto wl1 = workload::makeLmbenchTest("select_tcp");
+    auto wl2 = workload::makeLmbenchTest("select_tcp");
+    core::MeasureConfig mc;
+    mc.warmup_iters = 40;
+    mc.measure_iters = 80;
+    double t_retp =
+        core::measureWorkload(retp, image_->info, *wl1, mc).latency_us;
+    double t_js =
+        core::measureWorkload(js, image_->info, *wl2, mc).latency_us;
+    EXPECT_LT(t_js, t_retp); // JumpSwitches beat static retpolines...
+    ir::Module icp = core::buildImage(image_->module, *profile_,
+                                      OptConfig::icpOnly(0.99999),
+                                      DefenseConfig::retpolinesOnly());
+    auto wl3 = workload::makeLmbenchTest("select_tcp");
+    double t_icp =
+        core::measureWorkload(icp, image_->info, *wl3, mc).latency_us;
+    EXPECT_LT(t_icp, t_retp); // ...and PIBE's static ICP beats plain
+}
+
+/** Parameterized sweep: every budget/inliner combo stays correct. */
+struct SweepParam
+{
+    double budget;
+    InlinerKind inliner;
+    bool lax;
+};
+
+class PipelineSweep : public PipelineTest,
+                      public ::testing::WithParamInterface<SweepParam>
+{
+};
+
+TEST_P(PipelineSweep, BehaviourPreservedAcrossConfigs)
+{
+    const SweepParam& p = GetParam();
+    OptConfig cfg;
+    cfg.inline_budget = p.budget;
+    cfg.inliner = p.inliner;
+    cfg.lax_heuristics = p.lax;
+    ir::Module img = core::buildImage(image_->module, *profile_, cfg,
+                                      DefenseConfig::all());
+    EXPECT_TRUE(ir::verifyModule(img).empty());
+    EXPECT_EQ(runKernelScript(img, image_->info), *reference_);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, PipelineSweep,
+    ::testing::Values(SweepParam{0.0, InlinerKind::kPibe, false},
+                      SweepParam{0.5, InlinerKind::kPibe, false},
+                      SweepParam{0.9, InlinerKind::kPibe, false},
+                      SweepParam{0.99, InlinerKind::kPibe, false},
+                      SweepParam{0.999, InlinerKind::kPibe, false},
+                      SweepParam{0.999999, InlinerKind::kPibe, false},
+                      SweepParam{0.999999, InlinerKind::kPibe, true},
+                      SweepParam{0.99, InlinerKind::kDefaultLlvm, false},
+                      SweepParam{0.999, InlinerKind::kDefaultLlvm,
+                                 false},
+                      SweepParam{0.5, InlinerKind::kNone, false}));
+
+} // namespace
+} // namespace pibe

@@ -1,0 +1,361 @@
+/** @file Tests for the PIR simulator: semantics and timing behaviour. */
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "tests/test_util.h"
+#include "uarch/simulator.h"
+
+namespace pibe {
+namespace {
+
+using ir::BinKind;
+using ir::FunctionBuilder;
+using ir::Module;
+using uarch::Simulator;
+
+/** f(a, b) = a <op> b. */
+ir::FuncId
+binFunc(Module& m, BinKind kind)
+{
+    ir::FuncId f = m.addFunction("f", 2);
+    FunctionBuilder b(m, f);
+    b.ret(b.bin(kind, b.param(0), b.param(1)));
+    return f;
+}
+
+struct BinCase
+{
+    BinKind kind;
+    int64_t a, b, expected;
+};
+
+class BinOpSemantics : public ::testing::TestWithParam<BinCase>
+{
+};
+
+TEST_P(BinOpSemantics, MatchesReference)
+{
+    const BinCase& c = GetParam();
+    Module m;
+    ir::FuncId f = binFunc(m, c.kind);
+    EXPECT_EQ(test::runFunction(m, f, {c.a, c.b}).result, c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, BinOpSemantics,
+    ::testing::Values(
+        BinCase{BinKind::kAdd, 2, 3, 5},
+        BinCase{BinKind::kAdd, INT64_MAX, 1, INT64_MIN}, // wraps
+        BinCase{BinKind::kSub, 2, 5, -3},
+        BinCase{BinKind::kMul, -4, 6, -24},
+        BinCase{BinKind::kDiv, 7, 2, 3},
+        BinCase{BinKind::kRem, 7, 3, 1},
+        BinCase{BinKind::kAnd, 0b1100, 0b1010, 0b1000},
+        BinCase{BinKind::kOr, 0b1100, 0b1010, 0b1110},
+        BinCase{BinKind::kXor, 0b1100, 0b1010, 0b0110},
+        BinCase{BinKind::kShl, 3, 4, 48},
+        BinCase{BinKind::kShr, 48, 4, 3},
+        BinCase{BinKind::kShl, 1, 65, 2}, // shift amount masked to 1
+        BinCase{BinKind::kEq, 5, 5, 1}, BinCase{BinKind::kEq, 5, 6, 0},
+        BinCase{BinKind::kNe, 5, 6, 1}, BinCase{BinKind::kLt, -2, 1, 1},
+        BinCase{BinKind::kLe, 3, 3, 1}, BinCase{BinKind::kGt, 3, 3, 0},
+        BinCase{BinKind::kGe, 4, 3, 1}));
+
+TEST(Simulator, GlobalLoadStore)
+{
+    Module m;
+    m.addGlobal("g", {10, 20, 30});
+    ir::FuncId f = m.addFunction("f", 1);
+    FunctionBuilder b(m, f);
+    ir::Reg v = b.load(0, b.param(0), 1); // g[i + 1]
+    ir::Reg doubled = b.binImm(BinKind::kMul, v, 2);
+    b.store(0, b.param(0), doubled, 1);
+    b.ret(doubled);
+    Simulator sim(m);
+    EXPECT_EQ(sim.run(f, {0}), 40);
+    EXPECT_EQ(sim.run(f, {0}), 80); // state persists across calls
+    sim.resetMemory();
+    EXPECT_EQ(sim.run(f, {0}), 40);
+}
+
+TEST(SimulatorDeath, OutOfBoundsLoad)
+{
+    Module m;
+    m.addGlobal("g", {1});
+    ir::FuncId f = m.addFunction("f", 1);
+    FunctionBuilder b(m, f);
+    ir::Reg v = b.load(0, b.param(0));
+    b.ret(v);
+    Simulator sim(m);
+    EXPECT_DEATH(sim.run(f, {5}), "out of bounds");
+    Simulator sim2(m);
+    EXPECT_DEATH(sim2.run(f, {-1}), "out of bounds");
+}
+
+TEST(SimulatorDeath, DivisionByZero)
+{
+    Module m;
+    ir::FuncId f = binFunc(m, BinKind::kDiv);
+    Simulator sim(m);
+    EXPECT_DEATH(sim.run(f, {4, 0}), "division by zero");
+}
+
+TEST(SimulatorDeath, ICallThroughNonFunction)
+{
+    Module m;
+    ir::FuncId f = m.addFunction("f", 1);
+    FunctionBuilder b(m, f);
+    ir::Reg r = b.icall(b.param(0), {});
+    b.ret(r);
+    Simulator sim(m);
+    EXPECT_DEATH(sim.run(f, {1234}), "non-function");
+}
+
+TEST(SimulatorDeath, ICallArityMismatch)
+{
+    Module m;
+    ir::FuncId two = m.addFunction("two_params", 2);
+    {
+        FunctionBuilder b(m, two);
+        b.ret(b.param(0));
+    }
+    ir::FuncId f = m.addFunction("f", 0);
+    FunctionBuilder b(m, f);
+    ir::Reg t = b.funcAddr(two);
+    ir::Reg r = b.icall(t, {}); // no args for a 2-param target
+    b.ret(r);
+    Simulator sim(m);
+    EXPECT_DEATH(sim.run(f, {}), "arity");
+}
+
+TEST(Simulator, IndirectCallDispatch)
+{
+    Module m;
+    ir::FuncId add1 = m.addFunction("add1", 1);
+    {
+        FunctionBuilder b(m, add1);
+        b.ret(b.binImm(BinKind::kAdd, b.param(0), 1));
+    }
+    ir::FuncId neg = m.addFunction("neg", 1);
+    {
+        FunctionBuilder b(m, neg);
+        ir::Reg z = b.constI(0);
+        b.ret(b.bin(BinKind::kSub, z, b.param(0)));
+    }
+    m.addGlobal("table",
+                {ir::funcAddrValue(add1), ir::funcAddrValue(neg)});
+    ir::FuncId f = m.addFunction("f", 2);
+    FunctionBuilder b(m, f);
+    ir::Reg t = b.load(0, b.param(0));
+    ir::Reg r = b.icall(t, {b.param(1)});
+    b.ret(r);
+    EXPECT_EQ(test::runFunction(m, f, {0, 10}).result, 11);
+    EXPECT_EQ(test::runFunction(m, f, {1, 10}).result, -10);
+}
+
+TEST(Simulator, SinkHashObservesValuesInOrder)
+{
+    Module m;
+    ir::FuncId f = m.addFunction("f", 2);
+    FunctionBuilder b(m, f);
+    b.sink(b.param(0));
+    b.sink(b.param(1));
+    b.ret(b.constI(0));
+    auto ab = test::runFunction(m, f, {1, 2});
+    auto ba = test::runFunction(m, f, {2, 1});
+    EXPECT_NE(ab.sink_hash, ba.sink_hash); // order matters
+    auto ab2 = test::runFunction(m, f, {1, 2});
+    EXPECT_EQ(ab.sink_hash, ab2.sink_hash); // deterministic
+}
+
+TEST(Simulator, ExternalDeclarationReturnsZero)
+{
+    Module m;
+    ir::FuncId ext = m.addFunction("ext", 1, ir::kAttrExternal);
+    ir::FuncId f = m.addFunction("f", 0);
+    FunctionBuilder b(m, f);
+    ir::Reg r = b.call(ext, {b.constI(9)});
+    b.ret(b.binImm(BinKind::kAdd, r, 5));
+    EXPECT_EQ(test::runFunction(m, f, {}).result, 5);
+}
+
+TEST(Simulator, StatsCountEvents)
+{
+    Module m;
+    ir::FuncId leaf = m.addFunction("leaf", 0);
+    {
+        FunctionBuilder b(m, leaf);
+        b.ret(b.constI(1));
+    }
+    ir::FuncId f = m.addFunction("f", 0);
+    FunctionBuilder b(m, f);
+    ir::Reg r1 = b.call(leaf);
+    ir::Reg t = b.funcAddr(leaf);
+    ir::Reg r2 = b.icall(t, {});
+    b.ret(b.bin(BinKind::kAdd, r1, r2));
+    Simulator sim(m);
+    sim.run(f, {});
+    const auto& stats = sim.stats();
+    EXPECT_EQ(stats.direct_calls, 1u);
+    EXPECT_EQ(stats.indirect_calls, 1u);
+    EXPECT_EQ(stats.returns, 3u); // two leaf returns + f's
+    EXPECT_EQ(stats.max_call_depth, 2u);
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_GT(stats.instructions, 0u);
+}
+
+TEST(Simulator, TimingDisabledAccumulatesNoCycles)
+{
+    Module m;
+    ir::FuncId f = m.addFunction("f", 0);
+    FunctionBuilder b(m, f);
+    b.ret(b.constI(1));
+    Simulator sim(m);
+    sim.setTimingEnabled(false);
+    sim.run(f, {});
+    EXPECT_EQ(sim.stats().cycles, 0u);
+    EXPECT_GT(sim.stats().instructions, 0u);
+}
+
+/** One hot loop of indirect calls; returns cycles per config. */
+uint64_t
+cyclesWithScheme(ir::FwdScheme scheme)
+{
+    Module m;
+    ir::FuncId leaf = m.addFunction("leaf", 1);
+    {
+        FunctionBuilder b(m, leaf);
+        b.ret(b.param(0));
+    }
+    m.addGlobal("t", {ir::funcAddrValue(leaf)});
+    ir::FuncId f = m.addFunction("f", 1);
+    FunctionBuilder b(m, f);
+    ir::Reg i = b.newReg();
+    b.setRegConst(i, 0);
+    ir::Reg one = b.constI(1);
+    ir::Reg z = b.constI(0);
+    ir::BlockId head = b.newBlock();
+    ir::BlockId body = b.newBlock();
+    ir::BlockId done = b.newBlock();
+    b.br(head);
+    b.setBlock(head);
+    ir::Reg c = b.bin(BinKind::kLt, i, b.param(0));
+    b.condBr(c, body, done);
+    b.setBlock(body);
+    ir::Reg t = b.load(0, z);
+    ir::Reg r = b.icall(t, {i});
+    b.sink(r);
+    b.setRegBin(i, BinKind::kAdd, i, one);
+    b.br(head);
+    b.setBlock(done);
+    b.ret(i);
+    // Tag the icall with the requested scheme.
+    for (auto& bb : m.func(f).blocks) {
+        for (auto& inst : bb.insts) {
+            if (inst.op == ir::Opcode::kICall)
+                inst.fwd_scheme = scheme;
+        }
+    }
+    Simulator sim(m);
+    sim.run(f, {200});
+    return sim.stats().cycles;
+}
+
+TEST(SimulatorTiming, ThunkCostOrdering)
+{
+    uint64_t none = cyclesWithScheme(ir::FwdScheme::kNone);
+    uint64_t lvi = cyclesWithScheme(ir::FwdScheme::kLviCfi);
+    uint64_t retp = cyclesWithScheme(ir::FwdScheme::kRetpoline);
+    uint64_t fenced = cyclesWithScheme(ir::FwdScheme::kFencedRetpoline);
+    EXPECT_LT(none, lvi);
+    EXPECT_LT(lvi, retp);
+    EXPECT_LT(retp, fenced);
+    // Calibration: retpoline adds ~21 cycles per icall over predicted.
+    EXPECT_NEAR(static_cast<double>(retp - none) / 200.0, 19.0, 3.0);
+}
+
+TEST(SimulatorTiming, ReturnSchemeOrdering)
+{
+    auto run_ret = [](ir::RetScheme scheme) {
+        Module m;
+        ir::FuncId leaf = m.addFunction("leaf", 1);
+        {
+            FunctionBuilder b(m, leaf);
+            b.ret(b.param(0));
+        }
+        ir::FuncId f = m.addFunction("f", 1);
+        FunctionBuilder b(m, f);
+        ir::Reg acc = b.newReg();
+        b.setRegConst(acc, 0);
+        for (int k = 0; k < 100; ++k) {
+            ir::Reg r = b.call(leaf, {acc});
+            b.setReg(acc, r);
+        }
+        b.ret(acc);
+        for (auto& bb : m.func(leaf).blocks) {
+            for (auto& inst : bb.insts) {
+                if (inst.op == ir::Opcode::kRet)
+                    inst.ret_scheme = scheme;
+            }
+        }
+        Simulator sim(m);
+        sim.run(f, {0});
+        return sim.stats().cycles;
+    };
+    uint64_t plain = run_ret(ir::RetScheme::kNone);
+    uint64_t lvi = run_ret(ir::RetScheme::kLviRet);
+    uint64_t rr = run_ret(ir::RetScheme::kReturnRetpoline);
+    uint64_t fenced = run_ret(ir::RetScheme::kFencedRet);
+    EXPECT_LT(plain, lvi);
+    EXPECT_LT(lvi, rr);
+    EXPECT_LT(rr, fenced);
+    EXPECT_NEAR(static_cast<double>(fenced - plain) / 100.0, 31.0, 3.0);
+}
+
+TEST(SimulatorTiming, JumpSwitchLearnsSingleTarget)
+{
+    Module m;
+    ir::FuncId leaf = m.addFunction("leaf", 1);
+    {
+        FunctionBuilder b(m, leaf);
+        b.ret(b.param(0));
+    }
+    m.addGlobal("t", {ir::funcAddrValue(leaf)});
+    ir::FuncId f = m.addFunction("f", 0);
+    FunctionBuilder b(m, f);
+    ir::Reg z = b.constI(0);
+    ir::Reg t = b.load(0, z);
+    ir::Reg r = b.icall(t, {z});
+    b.ret(r);
+    for (auto& bb : m.func(f).blocks) {
+        for (auto& inst : bb.insts) {
+            if (inst.op == ir::Opcode::kICall)
+                inst.fwd_scheme = ir::FwdScheme::kJumpSwitch;
+        }
+    }
+    Simulator sim(m);
+    for (int i = 0; i < 100; ++i)
+        sim.run(f, {});
+    const auto& stats = sim.stats();
+    EXPECT_EQ(stats.js_patches, 1u);  // learned once
+    EXPECT_EQ(stats.js_hits, 99u);    // then always hits
+    EXPECT_EQ(stats.js_misses, 0u);
+    EXPECT_EQ(stats.js_learning, 0u); // single target: no relearning
+}
+
+TEST(SimulatorTiming, ICacheMissesCountedOnColdCode)
+{
+    test::GenConfig g;
+    g.seed = 42;
+    Module m = test::generateModule(g);
+    Simulator sim(m);
+    sim.run(test::generatedMain(m), {1, 2});
+    EXPECT_GT(sim.stats().icache_misses, 0u);
+    uint64_t cold = sim.stats().icache_misses;
+    sim.clearStats();
+    sim.run(test::generatedMain(m), {1, 2});
+    EXPECT_LT(sim.stats().icache_misses, cold); // warm now
+}
+
+} // namespace
+} // namespace pibe

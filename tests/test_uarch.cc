@@ -1,0 +1,200 @@
+/** @file Tests for predictors and the instruction cache. */
+#include <gtest/gtest.h>
+
+#include "uarch/icache.h"
+#include "uarch/predictors.h"
+
+namespace pibe {
+namespace {
+
+using uarch::Btb;
+using uarch::ICache;
+using uarch::Pht;
+using uarch::Rsb;
+
+TEST(BtbTest, PredictsAfterTraining)
+{
+    Btb btb(64);
+    EXPECT_EQ(btb.predict(0x100), 0u);
+    btb.update(0x100, 0xdead);
+    EXPECT_EQ(btb.predict(0x100), 0xdeadu);
+}
+
+TEST(BtbTest, AliasingEntriesCollide)
+{
+    Btb btb(64);
+    // Two addresses 64*2 bytes apart share the same slot
+    // (index = (addr >> 1) & 63).
+    const uint64_t a = 0x10;
+    const uint64_t b = a + 64 * 2;
+    btb.update(a, 111);
+    EXPECT_EQ(btb.predict(b), 111u);
+}
+
+TEST(BtbTest, PoisonOverridesTraining)
+{
+    Btb btb(64);
+    btb.update(0x40, 0x1000);
+    btb.poison(0x40, 0xbad);
+    EXPECT_EQ(btb.predict(0x40), 0xbadu);
+}
+
+TEST(BtbTest, FlushClears)
+{
+    Btb btb(64);
+    btb.update(0x40, 0x1000);
+    btb.flush();
+    EXPECT_EQ(btb.predict(0x40), 0u);
+}
+
+TEST(RsbTest, LifoPrediction)
+{
+    Rsb rsb(16);
+    rsb.push(0xa);
+    rsb.push(0xb);
+    EXPECT_EQ(rsb.pop(), 0xbu);
+    EXPECT_EQ(rsb.pop(), 0xau);
+}
+
+TEST(RsbTest, UnderflowReturnsZero)
+{
+    Rsb rsb(16);
+    EXPECT_EQ(rsb.pop(), 0u);
+    rsb.push(1);
+    rsb.pop();
+    EXPECT_EQ(rsb.pop(), 0u);
+}
+
+TEST(RsbTest, OverflowDropsOldestEntries)
+{
+    Rsb rsb(4);
+    for (uint64_t i = 1; i <= 6; ++i)
+        rsb.push(i);
+    // Only the 4 most recent survive; deeper pops underflow.
+    EXPECT_EQ(rsb.pop(), 6u);
+    EXPECT_EQ(rsb.pop(), 5u);
+    EXPECT_EQ(rsb.pop(), 4u);
+    EXPECT_EQ(rsb.pop(), 3u);
+    EXPECT_EQ(rsb.pop(), 0u); // 2 and 1 were overwritten
+}
+
+TEST(RsbTest, PoisonTopChangesNextPrediction)
+{
+    Rsb rsb(16);
+    rsb.push(0x123);
+    rsb.poisonTop(0x666);
+    EXPECT_EQ(rsb.pop(), 0x666u);
+}
+
+TEST(RsbTest, FillLevelTracksDepth)
+{
+    Rsb rsb(8);
+    EXPECT_EQ(rsb.fillLevel(), 0u);
+    rsb.push(1);
+    rsb.push(2);
+    EXPECT_EQ(rsb.fillLevel(), 2u);
+    rsb.pop();
+    EXPECT_EQ(rsb.fillLevel(), 1u);
+}
+
+TEST(PhtTest, TrainsTowardConstantDirection)
+{
+    Pht pht(256);
+    const uint64_t addr = 0x50;
+    // Initial state is weakly-not-taken.
+    EXPECT_FALSE(pht.predictTaken(addr));
+    // A monotone branch becomes predicted after the history settles.
+    for (int i = 0; i < 20; ++i)
+        pht.update(addr, true);
+    EXPECT_TRUE(pht.predictTaken(addr));
+    for (int i = 0; i < 24; ++i)
+        pht.update(addr, false);
+    EXPECT_FALSE(pht.predictTaken(addr));
+}
+
+TEST(PhtTest, GshareLearnsAlternatingPattern)
+{
+    // The gshare history lets a strictly alternating branch be
+    // predicted almost perfectly -- the property ICP's guard chains
+    // rely on (a bimodal table would mispredict every time).
+    Pht pht(4096);
+    const uint64_t addr = 0x88;
+    bool taken = false;
+    for (int i = 0; i < 200; ++i) { // warm up
+        pht.update(addr, taken);
+        taken = !taken;
+    }
+    int correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (pht.predictTaken(addr) == taken)
+            ++correct;
+        pht.update(addr, taken);
+        taken = !taken;
+    }
+    EXPECT_GE(correct, 95);
+}
+
+TEST(PhtTest, FlushResetsHistoryAndCounters)
+{
+    Pht pht(256);
+    for (int i = 0; i < 20; ++i)
+        pht.update(0x10, true);
+    pht.flush();
+    EXPECT_FALSE(pht.predictTaken(0x10));
+}
+
+TEST(ICacheTest, HitAfterTouch)
+{
+    ICache cache(1024, 2, 64);
+    EXPECT_EQ(cache.touch(0x100), 1u); // cold miss
+    EXPECT_EQ(cache.touch(0x104), 0u); // same line
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.accesses(), 2u);
+}
+
+TEST(ICacheTest, TouchRangeCountsLines)
+{
+    ICache cache(4096, 4, 64);
+    // 200 bytes spanning 4 lines starting mid-line.
+    EXPECT_EQ(cache.touchRange(0x20, 0x20 + 200), 4u);
+    EXPECT_EQ(cache.touchRange(0x20, 0x20 + 200), 0u); // all warm
+    EXPECT_EQ(cache.touchRange(5, 5), 0u);             // empty range
+}
+
+TEST(ICacheTest, CapacityEviction)
+{
+    // 2 sets * 2 ways * 64B = 256 bytes of cache.
+    ICache cache(256, 2, 64);
+    // Touch 3 lines mapping to set 0 (stride = 2 sets * 64 = 128).
+    cache.touch(0);
+    cache.touch(128);
+    cache.touch(256); // evicts line 0 (LRU)
+    EXPECT_EQ(cache.touch(0), 1u); // miss again
+}
+
+TEST(ICacheTest, LruKeepsRecentlyUsed)
+{
+    ICache cache(256, 2, 64);
+    cache.touch(0);
+    cache.touch(128);
+    cache.touch(0);   // refresh line 0
+    cache.touch(256); // evicts 128, not 0
+    EXPECT_EQ(cache.touch(0), 0u);
+    EXPECT_EQ(cache.touch(128), 1u);
+}
+
+TEST(ICacheTest, FlushColdsEverything)
+{
+    ICache cache(1024, 2, 64);
+    cache.touch(0x40);
+    cache.flush();
+    EXPECT_EQ(cache.touch(0x40), 1u);
+}
+
+TEST(ICacheDeath, RejectsBadGeometry)
+{
+    EXPECT_DEATH(ICache(1000, 3, 64), "icache");
+}
+
+} // namespace
+} // namespace pibe

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Deeper microarchitectural behaviour tests: RSB depth effects,
+ * JumpSwitch multi-target learning, i-cache/inlining interaction, and
+ * the copy-propagation pass.
+ */
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "opt/cleanup.h"
+#include "harden/harden.h"
+#include "opt/icp.h"
+#include "opt/inliner.h"
+#include "tests/test_util.h"
+#include "uarch/simulator.h"
+
+namespace pibe {
+namespace {
+
+using ir::BinKind;
+using ir::FunctionBuilder;
+using ir::Module;
+using ir::Opcode;
+
+/** Build a chain f0 -> f1 -> ... -> f(depth-1), each a plain call. */
+struct Chain
+{
+    Module m;
+    ir::FuncId entry;
+};
+
+Chain
+makeCallChain(int depth)
+{
+    Chain c;
+    ir::FuncId prev = ir::kInvalidFunc;
+    for (int i = depth - 1; i >= 0; --i) {
+        ir::FuncId f =
+            c.m.addFunction("f" + std::to_string(i), 1);
+        FunctionBuilder b(c.m, f);
+        if (prev == ir::kInvalidFunc) {
+            b.ret(b.binImm(BinKind::kAdd, b.param(0), 1));
+        } else {
+            ir::Reg r = b.call(prev, {b.param(0)});
+            b.ret(r);
+        }
+        prev = f;
+    }
+    c.entry = prev;
+    return c;
+}
+
+TEST(RsbDepth, DeepChainsOverflowTheReturnStack)
+{
+    // A 40-deep call chain exceeds the 16-entry RSB: the outer 24
+    // returns mispredict on every traversal; a shallow chain does not.
+    auto mispredicts = [](int depth) {
+        Chain c = makeCallChain(depth);
+        uarch::Simulator sim(c.m);
+        sim.run(c.entry, {1}); // warm-up
+        sim.clearStats();
+        sim.run(c.entry, {1});
+        return sim.stats().rsb_mispredicts;
+    };
+    EXPECT_EQ(mispredicts(8), 0u);
+    uint64_t deep = mispredicts(40);
+    EXPECT_GE(deep, 20u);
+    EXPECT_LE(deep, 30u);
+}
+
+TEST(RsbDepth, InliningRemovesTheOverflow)
+{
+    Chain c = makeCallChain(40);
+    profile::EdgeProfile p;
+    {
+        uarch::Simulator sim(c.m);
+        sim.setTimingEnabled(false);
+        sim.setProfiler(&p);
+        sim.run(c.entry, {1});
+    }
+    opt::PibeInlinerConfig cfg;
+    cfg.budget = 1.0;
+    opt::runPibeInliner(c.m, p, cfg);
+    uarch::Simulator sim(c.m);
+    sim.run(c.entry, {1});
+    sim.clearStats();
+    sim.run(c.entry, {1});
+    EXPECT_EQ(sim.stats().rsb_mispredicts, 0u);
+    EXPECT_EQ(sim.stats().returns, 1u); // only the entry's own return
+}
+
+/** Victim with a 3-target indirect call rotating targets. */
+struct MultiTarget
+{
+    Module m;
+    ir::FuncId entry;
+};
+
+MultiTarget
+makeMultiTarget()
+{
+    MultiTarget v;
+    std::vector<int64_t> table;
+    for (int t = 0; t < 3; ++t) {
+        ir::FuncId f = v.m.addFunction("t" + std::to_string(t), 1);
+        FunctionBuilder b(v.m, f);
+        b.ret(b.binImm(BinKind::kAdd, b.param(0), t));
+        table.push_back(ir::funcAddrValue(f));
+    }
+    v.m.addGlobal("table", std::move(table));
+    v.entry = v.m.addFunction("entry", 1);
+    FunctionBuilder b(v.m, v.entry);
+    ir::Reg sel = b.binImm(BinKind::kRem, b.param(0), 3);
+    ir::Reg t = b.load(0, sel);
+    ir::Reg r = b.icall(t, {b.param(0)});
+    b.ret(r);
+    return v;
+}
+
+TEST(JumpSwitches, MultiTargetSitesEnterLearningMode)
+{
+    MultiTarget v = makeMultiTarget();
+    harden::applyDefenses(v.m, harden::DefenseConfig::jumpSwitches());
+    uarch::CostParams params;
+    params.js_learn_period = 64; // make relearning frequent for test
+    params.js_learn_duration = 8;
+    uarch::Simulator sim(v.m, params);
+    for (int64_t i = 0; i < 500; ++i)
+        sim.run(v.entry, {i});
+    const auto& s = sim.stats();
+    EXPECT_EQ(s.js_patches, 3u);   // three targets learned
+    EXPECT_GT(s.js_hits, 400u);    // mostly inline-check hits
+    EXPECT_GT(s.js_learning, 10u); // but periodic learning bouts
+}
+
+TEST(JumpSwitches, OverflowFallsBackToRetpoline)
+{
+    MultiTarget v = makeMultiTarget();
+    harden::applyDefenses(v.m, harden::DefenseConfig::jumpSwitches());
+    uarch::CostParams params;
+    params.js_max_inline_targets = 1; // only one slot
+    params.js_learn_period = 1u << 30; // no relearning noise
+    uarch::Simulator sim(v.m, params);
+    for (int64_t i = 0; i < 300; ++i)
+        sim.run(v.entry, {i});
+    const auto& s = sim.stats();
+    EXPECT_EQ(s.js_patches, 1u);
+    EXPECT_GT(s.js_misses, 150u); // two of three targets always miss
+}
+
+TEST(CopyProp, EliminatesArgBindingMoves)
+{
+    Module m;
+    ir::FuncId f = m.addFunction("f", 2);
+    FunctionBuilder b(m, f);
+    ir::Reg copy = b.move(b.param(0));
+    ir::Reg copy2 = b.move(copy);
+    ir::Reg sum = b.bin(BinKind::kAdd, copy2, b.param(1));
+    b.ret(sum);
+    EXPECT_TRUE(opt::copyPropagate(m.func(f)));
+    EXPECT_TRUE(opt::deadCodeElim(m.func(f)));
+    size_t moves = 0;
+    for (const auto& inst : m.func(f).blocks[0].insts)
+        moves += (inst.op == Opcode::kMove);
+    EXPECT_EQ(moves, 0u);
+    EXPECT_EQ(test::runFunction(m, f, {3, 4}).result, 7);
+}
+
+TEST(CopyProp, StopsAtSourceRedefinition)
+{
+    Module m;
+    ir::FuncId f = m.addFunction("f", 1);
+    FunctionBuilder b(m, f);
+    ir::Reg copy = b.move(b.param(0));       // copy = p0
+    b.setRegConst(b.param(0), 99);           // p0 redefined!
+    ir::Reg sum = b.binImm(BinKind::kAdd, copy, 1); // must use old p0
+    b.ret(sum);
+    auto before = test::runFunction(m, f, {5});
+    EXPECT_EQ(before.result, 6);
+    opt::copyPropagate(m.func(f));
+    EXPECT_EQ(test::runFunction(m, f, {5}), before);
+}
+
+TEST(CopyProp, StopsAtDestRedefinition)
+{
+    Module m;
+    ir::FuncId f = m.addFunction("f", 1);
+    FunctionBuilder b(m, f);
+    ir::Reg copy = b.move(b.param(0)); // copy = p0
+    b.setRegConst(copy, 42);           // copy redefined
+    ir::Reg sum = b.binImm(BinKind::kAdd, copy, 1); // must see 42
+    b.ret(sum);
+    opt::copyPropagate(m.func(f));
+    EXPECT_EQ(test::runFunction(m, f, {5}).result, 43);
+}
+
+class CopyPropProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CopyPropProperty, PreservesSemantics)
+{
+    test::GenConfig cfg;
+    cfg.seed = GetParam() * 13 + 1;
+    Module m = test::generateModule(cfg);
+    ir::FuncId main = test::generatedMain(m);
+    auto before = test::runScript(m, main, test::argMatrix());
+    for (ir::Function& f : m.functions())
+        opt::copyPropagate(f);
+    ASSERT_TRUE(test::verifies(m));
+    EXPECT_EQ(test::runScript(m, main, test::argMatrix()), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CopyPropProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(IcpInlineInterplay, PromotedTargetsBecomeInlineCandidates)
+{
+    // An indirect-only call graph: without ICP the inliner has no
+    // candidates; after ICP the promoted direct edges get inlined.
+    MultiTarget v = makeMultiTarget();
+    profile::EdgeProfile p;
+    {
+        uarch::Simulator sim(v.m);
+        sim.setTimingEnabled(false);
+        sim.setProfiler(&p);
+        for (int64_t i = 0; i < 90; ++i)
+            sim.run(v.entry, {i});
+    }
+    auto before = test::runScript(v.m, v.entry,
+                                  {{0}, {1}, {2}, {7}, {11}});
+    profile::EdgeProfile p_no_icp = p;
+    Module no_icp = v.m;
+    auto audit0 = opt::runPibeInliner(no_icp, p_no_icp, {});
+    EXPECT_EQ(audit0.candidate_sites, 0u);
+
+    opt::runIcp(v.m, p, {});
+    opt::PibeInlinerConfig cfg;
+    cfg.budget = 1.0;
+    auto audit = opt::runPibeInliner(v.m, p, cfg);
+    EXPECT_EQ(audit.inlined_sites, 3u);
+    EXPECT_TRUE(test::verifies(v.m));
+    EXPECT_EQ(test::runScript(v.m, v.entry, {{0}, {1}, {2}, {7}, {11}}),
+              before);
+}
+
+} // namespace
+} // namespace pibe

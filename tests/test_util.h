@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Shared helpers for the PIBE test suite: tiny-module construction,
+ * execution shorthands, and a seeded random-module generator used by
+ * the property-based transformation tests.
+ */
+#ifndef PIBE_TESTS_TEST_UTIL_H_
+#define PIBE_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/module.h"
+#include "ir/verifier.h"
+#include "support/rng.h"
+#include "uarch/simulator.h"
+
+namespace pibe::test {
+
+/** Result of running a module function: return value + sink hash. */
+struct RunOutcome
+{
+    int64_t result = 0;
+    uint64_t sink_hash = 0;
+
+    bool
+    operator==(const RunOutcome& other) const
+    {
+        return result == other.result && sink_hash == other.sink_hash;
+    }
+};
+
+/** Execute `f(args)` on a fresh simulator (timing off). */
+inline RunOutcome
+runFunction(const ir::Module& module, ir::FuncId f,
+            const std::vector<int64_t>& args)
+{
+    uarch::Simulator sim(module);
+    sim.setTimingEnabled(false);
+    RunOutcome out;
+    out.result = sim.run(f, args);
+    out.sink_hash = sim.sinkHash();
+    return out;
+}
+
+/** Execute a batch of calls on one simulator (state persists). */
+inline std::vector<RunOutcome>
+runScript(const ir::Module& module, ir::FuncId f,
+          const std::vector<std::vector<int64_t>>& calls)
+{
+    uarch::Simulator sim(module);
+    sim.setTimingEnabled(false);
+    std::vector<RunOutcome> outs;
+    for (const auto& args : calls)
+        outs.push_back({sim.run(f, args), sim.sinkHash()});
+    return outs;
+}
+
+/** True if the module verifies cleanly. */
+inline bool
+verifies(const ir::Module& module)
+{
+    return ir::verifyModule(module).empty();
+}
+
+/** Configuration of the random module generator. */
+struct GenConfig
+{
+    uint64_t seed = 1;
+    uint32_t num_leaves = 4;  ///< Pure-arithmetic leaf functions.
+    uint32_t num_mids = 5;    ///< Branchy functions calling leaves/mids.
+    uint32_t max_blocks = 5;  ///< Blocks per mid function.
+    bool with_icalls = true;  ///< Emit indirect calls through a table.
+};
+
+/**
+ * Generate a random, valid, always-terminating module.
+ *
+ * Control flow is forward-only (branch targets always have higher
+ * block ids), so every run terminates. The entry point is the last
+ * function, named "main", taking two parameters. When `with_icalls`
+ * is set, a global "vtable" holds leaf addresses and mid functions
+ * occasionally dispatch through it.
+ */
+inline ir::Module
+generateModule(const GenConfig& cfg)
+{
+    using ir::BinKind;
+    Rng rng(cfg.seed);
+    ir::Module m;
+
+    std::vector<ir::FuncId> leaves;
+    for (uint32_t i = 0; i < cfg.num_leaves; ++i) {
+        ir::FuncId f =
+            m.addFunction("leaf" + std::to_string(i), 2);
+        ir::FunctionBuilder b(m, f);
+        ir::Reg acc = b.bin(BinKind::kXor, b.param(0), b.param(1));
+        const uint32_t ops = 2 + static_cast<uint32_t>(rng.below(6));
+        for (uint32_t o = 0; o < ops; ++o) {
+            static const BinKind kKinds[] = {
+                BinKind::kAdd, BinKind::kSub, BinKind::kMul,
+                BinKind::kAnd, BinKind::kOr,  BinKind::kXor,
+            };
+            acc = b.binImm(kKinds[rng.below(6)], acc,
+                           static_cast<int64_t>(rng.below(1000) + 1));
+        }
+        if (rng.chance(0.5))
+            b.sink(acc);
+        b.ret(acc);
+        leaves.push_back(f);
+    }
+
+    ir::GlobalId vtable = 0;
+    if (cfg.with_icalls) {
+        std::vector<int64_t> init;
+        for (ir::FuncId f : leaves)
+            init.push_back(ir::funcAddrValue(f));
+        vtable = m.addGlobal("vtable", std::move(init));
+    }
+
+    std::vector<ir::FuncId> callable = leaves;
+    for (uint32_t i = 0; i < cfg.num_mids; ++i) {
+        const bool is_main = (i + 1 == cfg.num_mids);
+        ir::FuncId f = m.addFunction(
+            is_main ? "main" : "mid" + std::to_string(i), 2);
+        ir::FunctionBuilder b(m, f);
+        const uint32_t nblocks =
+            2 + static_cast<uint32_t>(rng.below(cfg.max_blocks - 1));
+        std::vector<ir::BlockId> blocks{0};
+        for (uint32_t bb = 1; bb < nblocks; ++bb)
+            blocks.push_back(b.newBlock());
+
+        std::vector<ir::Reg> pool{b.param(0), b.param(1)};
+        for (uint32_t bb = 0; bb < nblocks; ++bb) {
+            b.setBlock(blocks[bb]);
+            const uint32_t ops = 1 + static_cast<uint32_t>(rng.below(4));
+            for (uint32_t o = 0; o < ops; ++o) {
+                ir::Reg a = pool[rng.below(pool.size())];
+                ir::Reg c = pool[rng.below(pool.size())];
+                static const BinKind kKinds[] = {
+                    BinKind::kAdd, BinKind::kSub, BinKind::kMul,
+                    BinKind::kAnd, BinKind::kXor, BinKind::kLt,
+                };
+                pool.push_back(b.bin(kKinds[rng.below(6)], a, c));
+            }
+            if (rng.chance(0.7)) {
+                ir::FuncId callee = callable[rng.below(callable.size())];
+                ir::Reg r = b.call(
+                    callee, {pool[rng.below(pool.size())],
+                             pool[rng.below(pool.size())]});
+                pool.push_back(r);
+            }
+            if (cfg.with_icalls && rng.chance(0.4)) {
+                ir::Reg idx = b.binImm(
+                    BinKind::kAnd, pool[rng.below(pool.size())],
+                    static_cast<int64_t>(leaves.size() - 1));
+                ir::Reg target = b.load(vtable, idx, 0);
+                ir::Reg r =
+                    b.icall(target, {pool[rng.below(pool.size())],
+                                     pool[rng.below(pool.size())]});
+                pool.push_back(r);
+            }
+            if (rng.chance(0.4))
+                b.sink(pool[rng.below(pool.size())]);
+
+            if (bb + 1 == nblocks) {
+                b.ret(pool[rng.below(pool.size())]);
+            } else if (bb + 2 < nblocks && rng.chance(0.5)) {
+                // Forward conditional branch (always terminating).
+                uint32_t t = bb + 1 +
+                             static_cast<uint32_t>(
+                                 rng.below(nblocks - bb - 1));
+                ir::Reg cond = pool[rng.below(pool.size())];
+                b.condBr(cond, blocks[bb + 1], blocks[t]);
+            } else {
+                b.br(blocks[bb + 1]);
+            }
+        }
+        callable.push_back(f);
+    }
+    return m;
+}
+
+/** The generator's entry point id ("main"). */
+inline ir::FuncId
+generatedMain(const ir::Module& m)
+{
+    return m.findFunction("main");
+}
+
+/** A spread of interesting argument pairs for generated modules. */
+inline std::vector<std::vector<int64_t>>
+argMatrix()
+{
+    return {{0, 0},   {1, 1},    {7, 3},   {-5, 9},
+            {100, 2}, {255, 64}, {-1, -1}, {1 << 20, 3}};
+}
+
+} // namespace pibe::test
+
+#endif // PIBE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * pibe — command-line driver for the PIBE toolkit.
+ *
+ * Mirrors the paper's build workflow (LLVM bitcode + opt passes) over
+ * PIR text files:
+ *
+ *   pibe kernel   -o kernel.pir [--drivers N] [--seed S]
+ *   pibe profile  -m kernel.pir -o prof.txt [--workload W] [--iters N]
+ *   pibe optimize -m kernel.pir -p prof.txt -o image.pir
+ *                 [--icp-budget F] [--inline-budget F] [--lax]
+ *                 [--inliner pibe|default|none]
+ *                 [--defense none|retpolines|ret-retpolines|lvi|all|
+ *                            jumpswitches] [--report]
+ *   pibe measure  -m image.pir [--baseline base.pir] [--test NAME]
+ *   pibe attack   -m image.pir [--kind spectre-v2|ret2spec|lvi]
+ *   pibe stats    -m file.pir
+ *   pibe selftest            (end-to-end smoke of all subcommands)
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harden/harden.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "kernel/kernel.h"
+#include "pibe/experiment.h"
+#include "pibe/pipeline.h"
+#include "profile/serialize.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "uarch/simulator.h"
+#include "uarch/speculation.h"
+
+namespace pibe::cli {
+namespace {
+
+/** Minimal argv option scanner. */
+class Args
+{
+  public:
+    Args(int argc, char** argv)
+    {
+        for (int i = 0; i < argc; ++i)
+            args_.emplace_back(argv[i]);
+    }
+
+    std::string
+    get(const std::string& flag, const std::string& fallback = "")
+    {
+        for (size_t i = 0; i + 1 < args_.size(); ++i) {
+            if (args_[i] == flag) {
+                used_[i] = used_[i + 1] = true;
+                return args_[i + 1];
+            }
+        }
+        return fallback;
+    }
+
+    bool
+    has(const std::string& flag)
+    {
+        for (size_t i = 0; i < args_.size(); ++i) {
+            if (args_[i] == flag) {
+                used_[i] = true;
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    std::vector<std::string> args_;
+    std::map<size_t, bool> used_;
+};
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        PIBE_FATAL("cannot open ", path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+writeFile(const std::string& path, const std::string& contents)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        PIBE_FATAL("cannot write ", path);
+    out << contents;
+}
+
+ir::Module
+loadModule(const std::string& path)
+{
+    ir::Module m = ir::parseModule(readFile(path));
+    ir::verifyOrDie(m, path);
+    return m;
+}
+
+harden::DefenseConfig
+defenseByName(const std::string& name)
+{
+    if (name == "none")
+        return harden::DefenseConfig::none();
+    if (name == "retpolines")
+        return harden::DefenseConfig::retpolinesOnly();
+    if (name == "ret-retpolines")
+        return harden::DefenseConfig::retRetpolinesOnly();
+    if (name == "lvi")
+        return harden::DefenseConfig::lviOnly();
+    if (name == "all")
+        return harden::DefenseConfig::all();
+    if (name == "jumpswitches")
+        return harden::DefenseConfig::jumpSwitches();
+    PIBE_FATAL("unknown defense '", name, "'");
+}
+
+std::vector<std::unique_ptr<workload::Workload>>
+workloadByName(const std::string& name)
+{
+    std::vector<std::unique_ptr<workload::Workload>> suite;
+    if (name == "lmbench") {
+        suite = workload::makeLmbenchSuite();
+    } else if (name == "apache") {
+        suite.push_back(workload::makeApacheWorkload());
+    } else if (name == "nginx") {
+        suite.push_back(workload::makeNginxWorkload());
+    } else if (name == "dbench") {
+        suite.push_back(workload::makeDbenchWorkload());
+    } else {
+        suite.push_back(workload::makeLmbenchTest(name));
+    }
+    return suite;
+}
+
+int
+cmdKernel(Args& args)
+{
+    kernel::KernelConfig cfg;
+    cfg.num_drivers = static_cast<uint32_t>(
+        std::stoul(args.get("--drivers", "448")));
+    cfg.seed = std::stoull(args.get("--seed", "42"));
+    kernel::KernelImage k = kernel::buildKernel(cfg);
+    std::string out = args.get("-o", "kernel.pir");
+    writeFile(out, ir::printModule(k.module));
+    std::printf("wrote %s (%zu functions)\n", out.c_str(),
+                k.module.numFunctions());
+    return 0;
+}
+
+int
+cmdProfile(Args& args)
+{
+    ir::Module m = loadModule(args.get("-m", "kernel.pir"));
+    kernel::KernelInfo info = kernel::kernelInfoFromModule(m);
+    auto suite = workloadByName(args.get("--workload", "lmbench"));
+    uint32_t iters = static_cast<uint32_t>(
+        std::stoul(args.get("--iters", "120")));
+    auto profile = core::collectProfile(m, info, suite, iters);
+    std::string out = args.get("-o", "profile.txt");
+    writeFile(out, profile::serializeProfile(m, profile));
+    std::printf("wrote %s (%zu direct sites, %zu indirect sites)\n",
+                out.c_str(), profile.numDirectSites(),
+                profile.numIndirectSites());
+    return 0;
+}
+
+int
+cmdOptimize(Args& args)
+{
+    ir::Module m = loadModule(args.get("-m", "kernel.pir"));
+    auto profile =
+        profile::liftProfile(m, readFile(args.get("-p", "profile.txt")));
+
+    core::OptConfig opt;
+    opt.icp_budget = std::stod(args.get("--icp-budget", "0.99999"));
+    opt.inline_budget =
+        std::stod(args.get("--inline-budget", "0.999999"));
+    opt.lax_heuristics = args.has("--lax");
+    std::string inliner = args.get("--inliner", "pibe");
+    if (inliner == "pibe")
+        opt.inliner = core::InlinerKind::kPibe;
+    else if (inliner == "default")
+        opt.inliner = core::InlinerKind::kDefaultLlvm;
+    else if (inliner == "none")
+        opt.inliner = core::InlinerKind::kNone;
+    else
+        PIBE_FATAL("unknown inliner '", inliner, "'");
+
+    harden::DefenseConfig defense =
+        defenseByName(args.get("--defense", "all"));
+
+    core::BuildReport report;
+    ir::Module image =
+        core::buildImage(m, profile, opt, defense, &report);
+    std::string out = args.get("-o", "image.pir");
+    writeFile(out, ir::printModule(image));
+    std::printf("wrote %s\n", out.c_str());
+    if (args.has("--report")) {
+        std::printf("  promoted: %u targets at %u sites\n",
+                    report.icp.promoted_targets,
+                    report.icp.promoted_sites);
+        std::printf("  inlined:  %u sites (%llu weight)\n",
+                    report.inlining.inlined_sites,
+                    static_cast<unsigned long long>(
+                        report.inlining.inlined_weight));
+        std::printf("  coverage: %u protected icalls, %u vulnerable "
+                    "icalls, %u vulnerable ijumps\n",
+                    report.coverage.protected_icalls,
+                    report.coverage.vulnerable_icalls,
+                    report.coverage.vulnerable_ijumps);
+        std::printf("  size:     %llu -> %llu bytes\n",
+                    static_cast<unsigned long long>(
+                        report.baseline_image_size),
+                    static_cast<unsigned long long>(report.image_size));
+    }
+    return 0;
+}
+
+int
+cmdMeasure(Args& args)
+{
+    ir::Module m = loadModule(args.get("-m", "image.pir"));
+    kernel::KernelInfo info = kernel::kernelInfoFromModule(m);
+    std::string test = args.get("--test", "all");
+    std::string baseline_path = args.get("--baseline");
+
+    std::vector<std::unique_ptr<workload::Workload>> suite;
+    if (test == "all")
+        suite = workload::makeLmbenchSuite();
+    else
+        suite.push_back(workload::makeLmbenchTest(test));
+
+    std::map<std::string, double> base;
+    if (!baseline_path.empty()) {
+        ir::Module b = loadModule(baseline_path);
+        for (auto& wl : suite) {
+            base[wl->name()] =
+                core::measureWorkload(b, info, *wl).latency_us;
+        }
+    }
+    Table t(baseline_path.empty()
+                ? std::vector<std::string>{"Test", "latency (us)"}
+                : std::vector<std::string>{"Test", "latency (us)",
+                                           "overhead"});
+    std::vector<double> overheads;
+    for (auto& wl : suite) {
+        auto meas = core::measureWorkload(m, info, *wl);
+        std::vector<std::string> row{wl->name(),
+                                     fixedStr(meas.latency_us, 3)};
+        if (!base.empty()) {
+            double o = overhead(meas.latency_us, base[wl->name()]);
+            overheads.push_back(o);
+            row.push_back(percent(o));
+        }
+        t.addRow(row);
+    }
+    if (overheads.size() > 1) {
+        t.addSeparator();
+        t.addRow({"Geometric Mean", "-",
+                  percent(geomeanOverhead(overheads))});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdAttack(Args& args)
+{
+    ir::Module m = loadModule(args.get("-m", "image.pir"));
+    kernel::KernelInfo info = kernel::kernelInfoFromModule(m);
+    std::string kind_name = args.get("--kind", "all");
+    std::vector<uarch::AttackKind> kinds;
+    if (kind_name == "all") {
+        kinds = {uarch::AttackKind::kSpectreV2,
+                 uarch::AttackKind::kRet2spec, uarch::AttackKind::kLvi};
+    } else if (kind_name == "spectre-v2") {
+        kinds = {uarch::AttackKind::kSpectreV2};
+    } else if (kind_name == "ret2spec") {
+        kinds = {uarch::AttackKind::kRet2spec};
+    } else if (kind_name == "lvi") {
+        kinds = {uarch::AttackKind::kLvi};
+    } else {
+        PIBE_FATAL("unknown attack kind '", kind_name, "'");
+    }
+    for (uarch::AttackKind kind : kinds) {
+        uarch::Simulator sim(m);
+        sim.setTimingEnabled(false);
+        ir::FuncId gadget = m.findFunction("drv0_h0");
+        if (gadget == ir::kInvalidFunc)
+            gadget = info.kernel_init;
+        uarch::TransientAttacker attacker(
+            kind, sim.layout().funcBase(gadget));
+        workload::KernelHandle handle(sim, info);
+        handle.boot();
+        auto wl = workload::makeLmbenchTest("read");
+        wl->setup(handle);
+        sim.setObserver(&attacker);
+        for (uint64_t i = 0; i < 300; ++i)
+            wl->iteration(handle, i);
+        std::printf("%-12s %llu gadget hits over %llu events -> %s\n",
+                    uarch::attackKindName(kind),
+                    static_cast<unsigned long long>(
+                        attacker.gadgetHits()),
+                    static_cast<unsigned long long>(
+                        attacker.eventsObserved()),
+                    attacker.gadgetHits() == 0 ? "blocked"
+                                               : "VULNERABLE");
+    }
+    return 0;
+}
+
+int
+cmdStats(Args& args)
+{
+    ir::Module m = loadModule(args.get("-m", "image.pir"));
+    uint32_t icalls = 0, rets = 0, switches = 0, asm_sites = 0,
+             hardened = 0;
+    size_t insts = 0;
+    for (const auto& f : m.functions()) {
+        insts += f.instructionCount();
+        for (const auto& bb : f.blocks) {
+            for (const auto& inst : bb.insts) {
+                switch (inst.op) {
+                  case ir::Opcode::kICall:
+                    ++icalls;
+                    asm_sites += inst.is_asm;
+                    hardened +=
+                        inst.fwd_scheme != ir::FwdScheme::kNone;
+                    break;
+                  case ir::Opcode::kRet:
+                    ++rets;
+                    hardened +=
+                        inst.ret_scheme != ir::RetScheme::kNone;
+                    break;
+                  case ir::Opcode::kSwitch:
+                    ++switches;
+                    asm_sites += inst.is_asm;
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+    analysis::CodeLayout layout(m);
+    std::printf("functions:        %zu\n", m.numFunctions());
+    std::printf("instructions:     %zu\n", insts);
+    std::printf("indirect calls:   %u\n", icalls);
+    std::printf("returns:          %u\n", rets);
+    std::printf("switches:         %u\n", switches);
+    std::printf("asm sites:        %u\n", asm_sites);
+    std::printf("hardened sites:   %u\n", hardened);
+    std::printf("image size:       %llu bytes\n",
+                static_cast<unsigned long long>(layout.imageSize()));
+    return 0;
+}
+
+int
+cmdSelftest()
+{
+    // The full workflow in a temp directory.
+    const std::string dir = "/tmp/pibe_cli_selftest";
+    std::string mkdir = "mkdir -p " + dir;
+    if (std::system(mkdir.c_str()) != 0)
+        PIBE_FATAL("cannot create ", dir);
+
+    kernel::KernelConfig cfg;
+    cfg.num_drivers = 8;
+    kernel::KernelImage k = kernel::buildKernel(cfg);
+    writeFile(dir + "/kernel.pir", ir::printModule(k.module));
+
+    ir::Module m = loadModule(dir + "/kernel.pir");
+    kernel::KernelInfo info = kernel::kernelInfoFromModule(m);
+    auto suite = workload::makeLmbenchSuite();
+    auto profile = core::collectProfile(m, info, suite, 25);
+    writeFile(dir + "/profile.txt",
+              profile::serializeProfile(m, profile));
+
+    auto lifted =
+        profile::liftProfile(m, readFile(dir + "/profile.txt"));
+    core::BuildReport report;
+    ir::Module image = core::buildImage(
+        m, lifted, core::OptConfig::icpAndInline(0.999),
+        harden::DefenseConfig::all(), &report);
+    writeFile(dir + "/image.pir", ir::printModule(image));
+
+    ir::Module reloaded = loadModule(dir + "/image.pir");
+    kernel::KernelInfo rinfo = kernel::kernelInfoFromModule(reloaded);
+    uarch::Simulator sim(reloaded);
+    workload::KernelHandle handle(sim, rinfo);
+    handle.boot();
+    int64_t pid = handle.syscall(kernel::sysno::kNull);
+    if (pid != 1)
+        PIBE_FATAL("selftest: reloaded kernel misbehaves (pid=", pid,
+                   ")");
+    if (report.inlining.inlined_sites == 0)
+        PIBE_FATAL("selftest: no inlining happened");
+    std::printf("selftest OK (%s)\n", dir.c_str());
+    return 0;
+}
+
+int
+run(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: pibe "
+                     "<kernel|profile|optimize|measure|attack|stats|"
+                     "selftest> [options]\n");
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    Args args(argc - 2, argv + 2);
+    if (cmd == "kernel")
+        return cmdKernel(args);
+    if (cmd == "profile")
+        return cmdProfile(args);
+    if (cmd == "optimize")
+        return cmdOptimize(args);
+    if (cmd == "measure")
+        return cmdMeasure(args);
+    if (cmd == "attack")
+        return cmdAttack(args);
+    if (cmd == "stats")
+        return cmdStats(args);
+    if (cmd == "selftest")
+        return cmdSelftest();
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 2;
+}
+
+} // namespace
+} // namespace pibe::cli
+
+int
+main(int argc, char** argv)
+{
+    return pibe::cli::run(argc, argv);
+}
