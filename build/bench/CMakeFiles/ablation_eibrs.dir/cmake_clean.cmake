@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eibrs.dir/ablation_eibrs.cc.o"
+  "CMakeFiles/ablation_eibrs.dir/ablation_eibrs.cc.o.d"
+  "ablation_eibrs"
+  "ablation_eibrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eibrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

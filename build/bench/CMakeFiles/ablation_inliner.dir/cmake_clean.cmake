@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inliner.dir/ablation_inliner.cc.o"
+  "CMakeFiles/ablation_inliner.dir/ablation_inliner.cc.o.d"
+  "ablation_inliner"
+  "ablation_inliner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inliner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rsb_refill.dir/ablation_rsb_refill.cc.o"
+  "CMakeFiles/ablation_rsb_refill.dir/ablation_rsb_refill.cc.o.d"
+  "ablation_rsb_refill"
+  "ablation_rsb_refill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rsb_refill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

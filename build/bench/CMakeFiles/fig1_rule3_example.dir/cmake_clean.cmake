@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_rule3_example.dir/fig1_rule3_example.cc.o"
+  "CMakeFiles/fig1_rule3_example.dir/fig1_rule3_example.cc.o.d"
+  "fig1_rule3_example"
+  "fig1_rule3_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_rule3_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

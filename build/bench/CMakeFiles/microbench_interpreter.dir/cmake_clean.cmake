@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_interpreter.dir/microbench_interpreter.cc.o"
+  "CMakeFiles/microbench_interpreter.dir/microbench_interpreter.cc.o.d"
+  "microbench_interpreter"
+  "microbench_interpreter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_attacks.dir/security_attacks.cc.o"
+  "CMakeFiles/security_attacks.dir/security_attacks.cc.o.d"
+  "security_attacks"
+  "security_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

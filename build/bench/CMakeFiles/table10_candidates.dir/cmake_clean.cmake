@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_candidates.dir/table10_candidates.cc.o"
+  "CMakeFiles/table10_candidates.dir/table10_candidates.cc.o.d"
+  "table10_candidates"
+  "table10_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_forward_edges.dir/table11_forward_edges.cc.o"
+  "CMakeFiles/table11_forward_edges.dir/table11_forward_edges.cc.o.d"
+  "table11_forward_edges"
+  "table11_forward_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_forward_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

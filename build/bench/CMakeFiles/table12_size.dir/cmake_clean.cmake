@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_size.dir/table12_size.cc.o"
+  "CMakeFiles/table12_size.dir/table12_size.cc.o.d"
+  "table12_size"
+  "table12_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_defense_costs.dir/table1_defense_costs.cc.o"
+  "CMakeFiles/table1_defense_costs.dir/table1_defense_costs.cc.o.d"
+  "table1_defense_costs"
+  "table1_defense_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_defense_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_retpolines.dir/table3_retpolines.cc.o"
+  "CMakeFiles/table3_retpolines.dir/table3_retpolines.cc.o.d"
+  "table3_retpolines"
+  "table3_retpolines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_retpolines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

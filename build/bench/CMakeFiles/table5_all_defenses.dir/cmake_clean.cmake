@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_all_defenses.dir/table5_all_defenses.cc.o"
+  "CMakeFiles/table5_all_defenses.dir/table5_all_defenses.cc.o.d"
+  "table5_all_defenses"
+  "table5_all_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_all_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_per_defense.dir/table6_per_defense.cc.o"
+  "CMakeFiles/table6_per_defense.dir/table6_per_defense.cc.o.d"
+  "table6_per_defense"
+  "table6_per_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_per_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_macrobenchmarks.dir/table7_macrobenchmarks.cc.o"
+  "CMakeFiles/table7_macrobenchmarks.dir/table7_macrobenchmarks.cc.o.d"
+  "table7_macrobenchmarks"
+  "table7_macrobenchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_macrobenchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

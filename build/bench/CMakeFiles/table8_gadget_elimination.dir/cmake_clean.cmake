@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_gadget_elimination.dir/table8_gadget_elimination.cc.o"
+  "CMakeFiles/table8_gadget_elimination.dir/table8_gadget_elimination.cc.o.d"
+  "table8_gadget_elimination"
+  "table8_gadget_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_gadget_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_inline_inhibitors.dir/table9_inline_inhibitors.cc.o"
+  "CMakeFiles/table9_inline_inhibitors.dir/table9_inline_inhibitors.cc.o.d"
+  "table9_inline_inhibitors"
+  "table9_inline_inhibitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_inline_inhibitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

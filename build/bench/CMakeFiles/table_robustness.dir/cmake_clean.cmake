@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_robustness.dir/table_robustness.cc.o"
+  "CMakeFiles/table_robustness.dir/table_robustness.cc.o.d"
+  "table_robustness"
+  "table_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

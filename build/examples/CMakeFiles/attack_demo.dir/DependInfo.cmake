@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/attack_demo.cpp" "examples/CMakeFiles/attack_demo.dir/attack_demo.cpp.o" "gcc" "examples/CMakeFiles/attack_demo.dir/attack_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pibe/CMakeFiles/pibe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harden/CMakeFiles/pibe_harden.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/pibe_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/pibe_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/pibe_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pibe_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/pibe_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pibe_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pibe_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pibe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_hardening.dir/kernel_hardening.cpp.o"
+  "CMakeFiles/kernel_hardening.dir/kernel_hardening.cpp.o.d"
+  "kernel_hardening"
+  "kernel_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

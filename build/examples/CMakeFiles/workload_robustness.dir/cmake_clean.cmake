@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_robustness.dir/workload_robustness.cpp.o"
+  "CMakeFiles/workload_robustness.dir/workload_robustness.cpp.o.d"
+  "workload_robustness"
+  "workload_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

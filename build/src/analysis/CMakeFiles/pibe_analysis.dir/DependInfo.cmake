@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/call_graph.cc" "src/analysis/CMakeFiles/pibe_analysis.dir/call_graph.cc.o" "gcc" "src/analysis/CMakeFiles/pibe_analysis.dir/call_graph.cc.o.d"
+  "/root/repo/src/analysis/inline_cost.cc" "src/analysis/CMakeFiles/pibe_analysis.dir/inline_cost.cc.o" "gcc" "src/analysis/CMakeFiles/pibe_analysis.dir/inline_cost.cc.o.d"
+  "/root/repo/src/analysis/layout.cc" "src/analysis/CMakeFiles/pibe_analysis.dir/layout.cc.o" "gcc" "src/analysis/CMakeFiles/pibe_analysis.dir/layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pibe_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pibe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pibe_analysis.dir/call_graph.cc.o"
+  "CMakeFiles/pibe_analysis.dir/call_graph.cc.o.d"
+  "CMakeFiles/pibe_analysis.dir/inline_cost.cc.o"
+  "CMakeFiles/pibe_analysis.dir/inline_cost.cc.o.d"
+  "CMakeFiles/pibe_analysis.dir/layout.cc.o"
+  "CMakeFiles/pibe_analysis.dir/layout.cc.o.d"
+  "libpibe_analysis.a"
+  "libpibe_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pibe_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

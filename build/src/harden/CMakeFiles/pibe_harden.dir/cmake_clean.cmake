@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pibe_harden.dir/harden.cc.o"
+  "CMakeFiles/pibe_harden.dir/harden.cc.o.d"
+  "libpibe_harden.a"
+  "libpibe_harden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pibe_harden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pibe_ir.dir/builder.cc.o"
+  "CMakeFiles/pibe_ir.dir/builder.cc.o.d"
+  "CMakeFiles/pibe_ir.dir/parser.cc.o"
+  "CMakeFiles/pibe_ir.dir/parser.cc.o.d"
+  "CMakeFiles/pibe_ir.dir/printer.cc.o"
+  "CMakeFiles/pibe_ir.dir/printer.cc.o.d"
+  "CMakeFiles/pibe_ir.dir/verifier.cc.o"
+  "CMakeFiles/pibe_ir.dir/verifier.cc.o.d"
+  "libpibe_ir.a"
+  "libpibe_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pibe_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

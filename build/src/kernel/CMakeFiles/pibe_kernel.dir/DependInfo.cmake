@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/kernel_core.cc" "src/kernel/CMakeFiles/pibe_kernel.dir/kernel_core.cc.o" "gcc" "src/kernel/CMakeFiles/pibe_kernel.dir/kernel_core.cc.o.d"
+  "/root/repo/src/kernel/kernel_drivers.cc" "src/kernel/CMakeFiles/pibe_kernel.dir/kernel_drivers.cc.o" "gcc" "src/kernel/CMakeFiles/pibe_kernel.dir/kernel_drivers.cc.o.d"
+  "/root/repo/src/kernel/kernel_systems.cc" "src/kernel/CMakeFiles/pibe_kernel.dir/kernel_systems.cc.o" "gcc" "src/kernel/CMakeFiles/pibe_kernel.dir/kernel_systems.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pibe_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pibe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

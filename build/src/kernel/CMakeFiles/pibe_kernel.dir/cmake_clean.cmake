@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pibe_kernel.dir/kernel_core.cc.o"
+  "CMakeFiles/pibe_kernel.dir/kernel_core.cc.o.d"
+  "CMakeFiles/pibe_kernel.dir/kernel_drivers.cc.o"
+  "CMakeFiles/pibe_kernel.dir/kernel_drivers.cc.o.d"
+  "CMakeFiles/pibe_kernel.dir/kernel_systems.cc.o"
+  "CMakeFiles/pibe_kernel.dir/kernel_systems.cc.o.d"
+  "libpibe_kernel.a"
+  "libpibe_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pibe_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

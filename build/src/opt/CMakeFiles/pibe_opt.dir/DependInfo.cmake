@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cleanup.cc" "src/opt/CMakeFiles/pibe_opt.dir/cleanup.cc.o" "gcc" "src/opt/CMakeFiles/pibe_opt.dir/cleanup.cc.o.d"
+  "/root/repo/src/opt/default_inliner.cc" "src/opt/CMakeFiles/pibe_opt.dir/default_inliner.cc.o" "gcc" "src/opt/CMakeFiles/pibe_opt.dir/default_inliner.cc.o.d"
+  "/root/repo/src/opt/icp.cc" "src/opt/CMakeFiles/pibe_opt.dir/icp.cc.o" "gcc" "src/opt/CMakeFiles/pibe_opt.dir/icp.cc.o.d"
+  "/root/repo/src/opt/inline_core.cc" "src/opt/CMakeFiles/pibe_opt.dir/inline_core.cc.o" "gcc" "src/opt/CMakeFiles/pibe_opt.dir/inline_core.cc.o.d"
+  "/root/repo/src/opt/jump_tables.cc" "src/opt/CMakeFiles/pibe_opt.dir/jump_tables.cc.o" "gcc" "src/opt/CMakeFiles/pibe_opt.dir/jump_tables.cc.o.d"
+  "/root/repo/src/opt/pibe_inliner.cc" "src/opt/CMakeFiles/pibe_opt.dir/pibe_inliner.cc.o" "gcc" "src/opt/CMakeFiles/pibe_opt.dir/pibe_inliner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pibe_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pibe_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/pibe_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pibe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

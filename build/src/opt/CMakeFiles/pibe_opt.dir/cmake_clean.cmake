@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pibe_opt.dir/cleanup.cc.o"
+  "CMakeFiles/pibe_opt.dir/cleanup.cc.o.d"
+  "CMakeFiles/pibe_opt.dir/default_inliner.cc.o"
+  "CMakeFiles/pibe_opt.dir/default_inliner.cc.o.d"
+  "CMakeFiles/pibe_opt.dir/icp.cc.o"
+  "CMakeFiles/pibe_opt.dir/icp.cc.o.d"
+  "CMakeFiles/pibe_opt.dir/inline_core.cc.o"
+  "CMakeFiles/pibe_opt.dir/inline_core.cc.o.d"
+  "CMakeFiles/pibe_opt.dir/jump_tables.cc.o"
+  "CMakeFiles/pibe_opt.dir/jump_tables.cc.o.d"
+  "CMakeFiles/pibe_opt.dir/pibe_inliner.cc.o"
+  "CMakeFiles/pibe_opt.dir/pibe_inliner.cc.o.d"
+  "libpibe_opt.a"
+  "libpibe_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pibe_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

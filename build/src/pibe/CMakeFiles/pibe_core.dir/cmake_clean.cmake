@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pibe_core.dir/experiment.cc.o"
+  "CMakeFiles/pibe_core.dir/experiment.cc.o.d"
+  "CMakeFiles/pibe_core.dir/pipeline.cc.o"
+  "CMakeFiles/pibe_core.dir/pipeline.cc.o.d"
+  "libpibe_core.a"
+  "libpibe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pibe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpibe_core.a"
+)

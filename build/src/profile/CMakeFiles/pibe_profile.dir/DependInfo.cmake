@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/edge_profile.cc" "src/profile/CMakeFiles/pibe_profile.dir/edge_profile.cc.o" "gcc" "src/profile/CMakeFiles/pibe_profile.dir/edge_profile.cc.o.d"
+  "/root/repo/src/profile/serialize.cc" "src/profile/CMakeFiles/pibe_profile.dir/serialize.cc.o" "gcc" "src/profile/CMakeFiles/pibe_profile.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pibe_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pibe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

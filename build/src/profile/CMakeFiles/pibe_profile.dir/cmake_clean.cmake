@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pibe_profile.dir/edge_profile.cc.o"
+  "CMakeFiles/pibe_profile.dir/edge_profile.cc.o.d"
+  "CMakeFiles/pibe_profile.dir/serialize.cc.o"
+  "CMakeFiles/pibe_profile.dir/serialize.cc.o.d"
+  "libpibe_profile.a"
+  "libpibe_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pibe_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pibe_support.dir/logging.cc.o"
+  "CMakeFiles/pibe_support.dir/logging.cc.o.d"
+  "CMakeFiles/pibe_support.dir/stats.cc.o"
+  "CMakeFiles/pibe_support.dir/stats.cc.o.d"
+  "CMakeFiles/pibe_support.dir/table.cc.o"
+  "CMakeFiles/pibe_support.dir/table.cc.o.d"
+  "libpibe_support.a"
+  "libpibe_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pibe_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pibe_uarch.dir/icache.cc.o"
+  "CMakeFiles/pibe_uarch.dir/icache.cc.o.d"
+  "CMakeFiles/pibe_uarch.dir/simulator.cc.o"
+  "CMakeFiles/pibe_uarch.dir/simulator.cc.o.d"
+  "CMakeFiles/pibe_uarch.dir/speculation.cc.o"
+  "CMakeFiles/pibe_uarch.dir/speculation.cc.o.d"
+  "libpibe_uarch.a"
+  "libpibe_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pibe_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pibe_workload.dir/lmbench.cc.o"
+  "CMakeFiles/pibe_workload.dir/lmbench.cc.o.d"
+  "CMakeFiles/pibe_workload.dir/macro.cc.o"
+  "CMakeFiles/pibe_workload.dir/macro.cc.o.d"
+  "libpibe_workload.a"
+  "libpibe_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pibe_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

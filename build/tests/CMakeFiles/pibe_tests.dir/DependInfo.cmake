@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/pibe_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_cleanup.cc" "tests/CMakeFiles/pibe_tests.dir/test_cleanup.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_cleanup.cc.o.d"
+  "/root/repo/tests/test_eibrs.cc" "tests/CMakeFiles/pibe_tests.dir/test_eibrs.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_eibrs.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/pibe_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/pibe_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_harden.cc" "tests/CMakeFiles/pibe_tests.dir/test_harden.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_harden.cc.o.d"
+  "/root/repo/tests/test_icp.cc" "tests/CMakeFiles/pibe_tests.dir/test_icp.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_icp.cc.o.d"
+  "/root/repo/tests/test_inline_core.cc" "tests/CMakeFiles/pibe_tests.dir/test_inline_core.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_inline_core.cc.o.d"
+  "/root/repo/tests/test_inliner.cc" "tests/CMakeFiles/pibe_tests.dir/test_inliner.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_inliner.cc.o.d"
+  "/root/repo/tests/test_ir.cc" "tests/CMakeFiles/pibe_tests.dir/test_ir.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_ir.cc.o.d"
+  "/root/repo/tests/test_jump_tables.cc" "tests/CMakeFiles/pibe_tests.dir/test_jump_tables.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_jump_tables.cc.o.d"
+  "/root/repo/tests/test_kernel.cc" "tests/CMakeFiles/pibe_tests.dir/test_kernel.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_kernel.cc.o.d"
+  "/root/repo/tests/test_kernel_fs.cc" "tests/CMakeFiles/pibe_tests.dir/test_kernel_fs.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_kernel_fs.cc.o.d"
+  "/root/repo/tests/test_parser.cc" "tests/CMakeFiles/pibe_tests.dir/test_parser.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_parser.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/pibe_tests.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_profile.cc" "tests/CMakeFiles/pibe_tests.dir/test_profile.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_profile.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/pibe_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_speculation.cc" "tests/CMakeFiles/pibe_tests.dir/test_speculation.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_speculation.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/pibe_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_uarch.cc" "tests/CMakeFiles/pibe_tests.dir/test_uarch.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_uarch.cc.o.d"
+  "/root/repo/tests/test_uarch_advanced.cc" "tests/CMakeFiles/pibe_tests.dir/test_uarch_advanced.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_uarch_advanced.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/pibe_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/pibe_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pibe/CMakeFiles/pibe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harden/CMakeFiles/pibe_harden.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/pibe_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/pibe_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/pibe_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pibe_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/pibe_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pibe_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pibe_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pibe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

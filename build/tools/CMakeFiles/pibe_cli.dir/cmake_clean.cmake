@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pibe_cli.dir/pibe_cli.cc.o"
+  "CMakeFiles/pibe_cli.dir/pibe_cli.cc.o.d"
+  "pibe"
+  "pibe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pibe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
