@@ -15,12 +15,15 @@
 #define PIBE_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "kernel/kernel.h"
+#include "pibe/engine.h"
 #include "pibe/experiment.h"
 #include "pibe/pipeline.h"
 #include "support/stats.h"
@@ -47,38 +50,15 @@ measureConfig()
 }
 
 /**
- * Phase 1: the LMBench profiling workload.
- *
- * LMBench runs each microbenchmark for a fixed wall time, so cheap
- * operations accumulate far more iterations than expensive ones; the
- * per-test multipliers below reproduce that skew (roughly inverse to
- * each test's latency), which is what gives the profile its
- * orders-of-magnitude weight spread across kernel paths.
+ * Phase 1: the LMBench profiling workload. Delegates to the engine's
+ * canonical skewed profile (see core::collectLmbenchProfile) so the
+ * serial bench path and the job-graph path train on identical data.
  */
 inline profile::EdgeProfile
 collectLmbenchProfile(const kernel::KernelImage& k,
                       uint32_t base_iters = 120)
 {
-    static const std::map<std::string, double> kItersScale = {
-        {"null", 16},       {"read", 8},       {"write", 8},
-        {"open", 4},        {"stat", 6},       {"fstat", 10},
-        {"af_unix", 4},     {"fork/exit", 1},  {"fork/exec", 0.6},
-        {"fork/shell", 0.4}, {"pipe", 4},      {"select_file", 3},
-        {"select_tcp", 2},  {"tcp_conn", 1.5}, {"udp", 4},
-        {"tcp", 4},         {"mmap", 3},       {"page_fault", 8},
-        {"sig_install", 12}, {"sig_dispatch", 8},
-    };
-    profile::EdgeProfile merged;
-    for (auto& wl : workload::makeLmbenchSuite()) {
-        std::vector<std::unique_ptr<workload::Workload>> one;
-        one.push_back(workload::makeLmbenchTest(wl->name()));
-        const uint32_t iters = std::max<uint32_t>(
-            1, static_cast<uint32_t>(
-                   base_iters * kItersScale.at(wl->name())));
-        merged.merge(
-            core::collectProfile(k.module, k.info, one, iters));
-    }
-    return merged;
+    return core::collectLmbenchProfile(k.module, k.info, base_iters);
 }
 
 /** Latencies of the LMBench suite on an image, keyed by test name. */
@@ -127,6 +107,87 @@ printTable(const std::string& title, const std::string& note,
         std::printf("%s\n", note.c_str());
     std::printf("%s", table.render().c_str());
     std::fflush(stdout);
+}
+
+/**
+ * Shared command-line options of the converted table binaries:
+ *
+ *   --jobs N            worker threads for the job graph (default 1)
+ *   --cache-dir DIR     on-disk artifact cache (shared across tables)
+ *   --no-cache          disable memoization entirely
+ *   --metrics           print the per-job metrics table (stderr)
+ *   --metrics-json PATH write a one-line JSON metrics fragment
+ *
+ * Metrics never go to stdout, so table output stays byte-comparable
+ * between serial and parallel runs.
+ */
+struct BenchArgs
+{
+    core::EngineOptions engine;
+    bool show_metrics = false;
+    std::string metrics_json;
+};
+
+inline BenchArgs
+parseBenchArgs(int argc, char** argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--jobs")
+            args.engine.jobs =
+                static_cast<unsigned>(std::stoul(next()));
+        else if (a == "--cache-dir")
+            args.engine.cache_dir = next();
+        else if (a == "--no-cache")
+            args.engine.use_cache = false;
+        else if (a == "--metrics")
+            args.show_metrics = true;
+        else if (a == "--metrics-json")
+            args.metrics_json = next();
+        else {
+            std::fprintf(stderr,
+                         "unknown option '%s' (supported: --jobs N, "
+                         "--cache-dir DIR, --no-cache, --metrics, "
+                         "--metrics-json PATH)\n",
+                         a.c_str());
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
+/** Report run metrics per the flags; call once after the table prints. */
+inline void
+finishBench(const BenchArgs& args, const std::string& table_id,
+            const core::ExperimentResults& results)
+{
+    if (args.show_metrics) {
+        std::fprintf(stderr, "\n--- %s: engine metrics ---\n%s",
+                     table_id.c_str(),
+                     core::engineMetricsTable(results).render().c_str());
+    }
+    if (!args.metrics_json.empty()) {
+        std::ofstream out(args.metrics_json);
+        out << "{\"table\":\"" << table_id << "\""
+            << ",\"wall_s\":" << fixedStr(results.wall_ms / 1000.0, 3)
+            << ",\"jobs\":" << args.engine.jobs
+            << ",\"num_graph_jobs\":" << results.jobs.size()
+            << ",\"cache_mem_hits\":" << results.cache.mem_hits
+            << ",\"cache_disk_hits\":" << results.cache.disk_hits
+            << ",\"cache_misses\":" << results.cache.misses
+            << ",\"cache_puts\":" << results.cache.puts
+            << ",\"cache_hit_rate\":"
+            << fixedStr(results.cache.hitRate(), 4) << "}\n";
+    }
 }
 
 } // namespace pibe::bench

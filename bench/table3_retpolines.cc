@@ -35,52 +35,51 @@ const std::map<std::string, PaperRow> kPaper = {
 } // namespace pibe
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace pibe;
-    kernel::KernelImage k = bench::buildEvalKernel();
-    auto profile = bench::collectLmbenchProfile(k);
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
 
-    ir::Module lto =
-        core::buildImage(k.module, profile, core::OptConfig::none(),
-                         harden::DefenseConfig::none());
-    ir::Module retp =
-        core::buildImage(k.module, profile, core::OptConfig::none(),
-                         harden::DefenseConfig::retpolinesOnly());
-    ir::Module js =
-        core::buildImage(k.module, profile, core::OptConfig::none(),
-                         harden::DefenseConfig::jumpSwitches());
-    ir::Module icp99 = core::buildImage(
-        k.module, profile, core::OptConfig::icpOnly(0.99),
-        harden::DefenseConfig::retpolinesOnly());
-    ir::Module icp99999 = core::buildImage(
-        k.module, profile, core::OptConfig::icpOnly(0.99999),
-        harden::DefenseConfig::retpolinesOnly());
-
-    const auto tests = workload::lmbenchRetpolineSubset();
-    auto latencies = [&](const ir::Module& image) {
-        std::map<std::string, double> out;
-        for (const auto& name : tests) {
-            auto wl = workload::makeLmbenchTest(name);
-            out[name] = core::measureWorkload(image, k.info, *wl,
-                                              bench::measureConfig())
-                            .latency_us;
-        }
-        return out;
+    struct Spec
+    {
+        const char* name;
+        core::OptConfig opt;
+        harden::DefenseConfig defense;
+    };
+    const std::vector<Spec> specs = {
+        {"lto", core::OptConfig::none(),
+         harden::DefenseConfig::none()},
+        {"LTO w/retpolines", core::OptConfig::none(),
+         harden::DefenseConfig::retpolinesOnly()},
+        {"JumpSwitches", core::OptConfig::none(),
+         harden::DefenseConfig::jumpSwitches()},
+        {"+icp (99%)", core::OptConfig::icpOnly(0.99),
+         harden::DefenseConfig::retpolinesOnly()},
+        {"+icp (99.999%)", core::OptConfig::icpOnly(0.99999),
+         harden::DefenseConfig::retpolinesOnly()},
     };
 
-    auto base = latencies(lto);
+    const auto tests = workload::lmbenchRetpolineSubset();
+    core::ExperimentPlan plan;
+    plan.measure = bench::measureConfig();
+    for (const auto& spec : specs) {
+        plan.addImage(spec.name, spec.opt, spec.defense);
+        for (const auto& name : tests)
+            plan.measureOn(spec.name, name);
+    }
+
+    core::ExperimentResults results =
+        core::runExperiments(plan, args.engine);
+
+    auto base = results.latencies("lto");
     struct Column
     {
         const char* name;
         std::map<std::string, double> lat;
     };
-    std::vector<Column> cols = {
-        {"LTO w/retpolines", latencies(retp)},
-        {"JumpSwitches", latencies(js)},
-        {"+icp (99%)", latencies(icp99)},
-        {"+icp (99.999%)", latencies(icp99999)},
-    };
+    std::vector<Column> cols;
+    for (size_t s = 1; s < specs.size(); ++s)
+        cols.push_back({specs[s].name, results.latencies(specs[s].name)});
 
     Table t({"Test", "LTO w/retpolines", "JumpSwitches", "+icp (99%)",
              "+icp (99.999%)", "paper (no-opt/JS/99/99.999)"});
@@ -111,5 +110,6 @@ main()
         "Static ICP (PIBE) vs JumpSwitches runtime patching; all "
         "remaining indirect calls hardened with retpolines.",
         t);
+    bench::finishBench(args, "table3_retpolines", results);
     return 0;
 }

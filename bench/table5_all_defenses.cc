@@ -44,11 +44,10 @@ const std::map<std::string, PaperRow> kPaper = {
 } // namespace pibe
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace pibe;
-    kernel::KernelImage k = bench::buildEvalKernel();
-    auto profile = bench::collectLmbenchProfile(k);
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const harden::DefenseConfig all = harden::DefenseConfig::all();
 
     struct Column
@@ -65,18 +64,24 @@ main()
         {"lax heur.", core::OptConfig::icpAndInline(0.999999, true)},
     };
 
-    ir::Module lto =
-        core::buildImage(k.module, profile, core::OptConfig::none(),
-                         harden::DefenseConfig::none());
-    auto base = bench::lmbenchLatencies(lto, k.info);
+    core::ExperimentPlan plan;
+    plan.measure = bench::measureConfig();
+    plan.addImage("lto", core::OptConfig::none(),
+                  harden::DefenseConfig::none());
+    plan.measureLmbenchOn("lto");
+    for (const auto& col : columns) {
+        plan.addImage(col.name, col.opt, all);
+        plan.measureLmbenchOn(col.name);
+    }
+
+    core::ExperimentResults results =
+        core::runExperiments(plan, args.engine);
+    auto base = results.latencies("lto");
 
     std::vector<bench::OverheadSet> sets;
     for (const auto& col : columns) {
-        ir::Module img = core::buildImage(k.module, profile, col.opt,
-                                          all);
         sets.push_back(
-            bench::overheadsVs(base, bench::lmbenchLatencies(img,
-                                                             k.info)));
+            bench::overheadsVs(base, results.latencies(col.name)));
     }
 
     Table t({"Test", "no-opt", "+icp", "99%", "99.9%", "99.9999%",
@@ -106,5 +111,6 @@ main()
         "All transient defenses (fenced retpolines + fenced returns) "
         "vs the LTO baseline; inlining budgets rise left to right.",
         t);
+    bench::finishBench(args, "table5_all_defenses", results);
     return 0;
 }

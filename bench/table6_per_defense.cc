@@ -8,16 +8,10 @@
 #include "bench/bench_util.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace pibe;
-    kernel::KernelImage k = bench::buildEvalKernel();
-    auto profile = bench::collectLmbenchProfile(k);
-
-    ir::Module lto =
-        core::buildImage(k.module, profile, core::OptConfig::none(),
-                         harden::DefenseConfig::none());
-    auto base = bench::lmbenchLatencies(lto, k.info);
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
 
     struct Row
     {
@@ -43,18 +37,30 @@ main()
          "10.6%"},
     };
 
+    core::ExperimentPlan plan;
+    plan.measure = bench::measureConfig();
+    plan.addImage("lto", core::OptConfig::none(),
+                  harden::DefenseConfig::none());
+    plan.measureLmbenchOn("lto");
+    for (const auto& row : rows) {
+        plan.addImage(std::string("unopt/") + row.name,
+                      core::OptConfig::none(), row.defense);
+        plan.measureLmbenchOn(std::string("unopt/") + row.name);
+        plan.addImage(std::string("pibe/") + row.name, row.pibe_opt,
+                      row.defense);
+        plan.measureLmbenchOn(std::string("pibe/") + row.name);
+    }
+
+    core::ExperimentResults results =
+        core::runExperiments(plan, args.engine);
+    auto base = results.latencies("lto");
+
     Table t({"Defense", "LTO", "PIBE", "paper LTO", "paper PIBE"});
     for (const auto& row : rows) {
-        ir::Module unopt = core::buildImage(
-            k.module, profile, core::OptConfig::none(), row.defense);
-        ir::Module opt = core::buildImage(k.module, profile,
-                                          row.pibe_opt, row.defense);
-        auto o_unopt =
-            bench::overheadsVs(base, bench::lmbenchLatencies(unopt,
-                                                             k.info));
-        auto o_opt =
-            bench::overheadsVs(base, bench::lmbenchLatencies(opt,
-                                                             k.info));
+        auto o_unopt = bench::overheadsVs(
+            base, results.latencies(std::string("unopt/") + row.name));
+        auto o_opt = bench::overheadsVs(
+            base, results.latencies(std::string("pibe/") + row.name));
         t.addRow({row.name, percent(o_unopt.geomean),
                   percent(o_opt.geomean), row.paper_lto,
                   row.paper_pibe});
@@ -64,5 +70,6 @@ main()
         "Each defense measured unoptimized (LTO) and with PIBE's "
         "optimal optimization configuration.",
         t);
+    bench::finishBench(args, "table6_per_defense", results);
     return 0;
 }

@@ -10,16 +10,6 @@
 namespace pibe {
 namespace {
 
-double
-throughput(const ir::Module& image, const kernel::KernelInfo& info,
-           std::unique_ptr<workload::Workload> wl)
-{
-    core::MeasureConfig cfg = bench::measureConfig();
-    cfg.warmup_iters = 100;
-    cfg.measure_iters = 300;
-    return core::measureWorkload(image, info, *wl, cfg).ops_per_sec;
-}
-
 struct PaperCell
 {
     double no_opt, pibe;
@@ -29,11 +19,10 @@ struct PaperCell
 } // namespace pibe
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace pibe;
-    kernel::KernelImage k = bench::buildEvalKernel();
-    auto profile = bench::collectLmbenchProfile(k);
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
 
     struct DefRow
     {
@@ -55,40 +44,62 @@ main()
     struct BenchDef
     {
         const char* name;
-        std::unique_ptr<workload::Workload> (*make)();
+        const char* workload;
         // Paper reference deltas per defense row (%, no-opt / PIBE).
         PaperCell paper[4];
     };
     const BenchDef benches[] = {
-        {"Nginx", workload::makeNginxWorkload,
+        {"Nginx", "nginx",
          {{-6.98, 1.37}, {-33.32, 6.05}, {-27.45, 9.21},
           {-51.71, -5.95}}},
-        {"Apache", workload::makeApacheWorkload,
+        {"Apache", "apache",
          {{-3.8, 0.76}, {-22.87, -0.08}, {-23.41, 1.88},
           {-39.26, -7.93}}},
-        {"DBench", workload::makeDbenchWorkload,
+        {"DBench", "dbench",
          {{-4.25, -1.78}, {-27.9, -0.84}, {-20.4, 1.61},
           {-45.61, -6.68}}},
     };
 
-    ir::Module lto =
-        core::buildImage(k.module, profile, core::OptConfig::none(),
-                         harden::DefenseConfig::none());
+    core::ExperimentPlan plan;
+    plan.measure = bench::measureConfig();
+    plan.measure.warmup_iters = 100;
+    plan.measure.measure_iters = 300;
+    plan.addImage("lto", core::OptConfig::none(),
+                  harden::DefenseConfig::none());
+    for (const auto& def : defenses) {
+        plan.addImage(std::string("unopt/") + def.name,
+                      core::OptConfig::none(), def.defense);
+        plan.addImage(std::string("pibe/") + def.name, def.opt,
+                      def.defense);
+    }
+    for (const auto& b : benches) {
+        plan.measureOn("lto", b.workload);
+        for (const auto& def : defenses) {
+            plan.measureOn(std::string("unopt/") + def.name,
+                           b.workload);
+            plan.measureOn(std::string("pibe/") + def.name,
+                           b.workload);
+        }
+    }
+
+    core::ExperimentResults results =
+        core::runExperiments(plan, args.engine);
 
     Table t({"Benchmark", "Configuration", "no-opt", "PIBE",
              "paper no-opt", "paper PIBE"});
     for (const auto& b : benches) {
-        double vanilla = throughput(lto, k.info, b.make());
+        double vanilla = results.at("lto", b.workload).ops_per_sec;
         for (size_t d = 0; d < defenses.size(); ++d) {
-            ir::Module unopt =
-                core::buildImage(k.module, profile,
-                                 core::OptConfig::none(),
-                                 defenses[d].defense);
-            ir::Module opt = core::buildImage(
-                k.module, profile, defenses[d].opt,
-                defenses[d].defense);
-            double tu = throughput(unopt, k.info, b.make());
-            double to = throughput(opt, k.info, b.make());
+            double tu =
+                results
+                    .at(std::string("unopt/") + defenses[d].name,
+                        b.workload)
+                    .ops_per_sec;
+            double to =
+                results
+                    .at(std::string("pibe/") + defenses[d].name,
+                        b.workload)
+                    .ops_per_sec;
             t.addRow({d == 0 ? b.name : "", defenses[d].name,
                       percent(tu / vanilla - 1.0),
                       percent(to / vanilla - 1.0),
@@ -102,5 +113,6 @@ main()
         "Positive = faster than the undefended baseline. PIBE images "
         "are optimized with the LMBench training workload.",
         t);
+    bench::finishBench(args, "table7_macrobenchmarks", results);
     return 0;
 }

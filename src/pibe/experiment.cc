@@ -2,14 +2,14 @@
 
 namespace pibe::core {
 
+namespace {
+
+/** Setup + warmup + measured phase on an already-booted simulator. */
 Measurement
-measureWorkload(const ir::Module& image, const kernel::KernelInfo& info,
+measureOnBooted(uarch::Simulator& sim, const kernel::KernelInfo& info,
                 workload::Workload& wl, const MeasureConfig& config)
 {
-    uarch::Simulator sim(image, config.params);
     workload::KernelHandle handle(sim, info);
-
-    handle.boot();
     wl.setup(handle);
     for (uint32_t i = 0; i < config.warmup_iters; ++i)
         wl.iteration(handle, i);
@@ -34,14 +34,45 @@ measureWorkload(const ir::Module& image, const kernel::KernelInfo& info,
     return m;
 }
 
+} // namespace
+
+Measurement
+measureWorkload(const ir::Module& image, const kernel::KernelInfo& info,
+                workload::Workload& wl, const MeasureConfig& config)
+{
+    uarch::Simulator sim(image, config.params);
+    workload::KernelHandle handle(sim, info);
+    handle.boot();
+    return measureOnBooted(sim, info, wl, config);
+}
+
 std::map<std::string, Measurement>
 measureSuite(const ir::Module& image, const kernel::KernelInfo& info,
-             const std::vector<std::unique_ptr<workload::Workload>>& suite,
+             std::span<const std::unique_ptr<workload::Workload>> suite,
              const MeasureConfig& config)
 {
     std::map<std::string, Measurement> results;
-    for (const auto& wl : suite)
-        results[wl->name()] = measureWorkload(image, info, *wl, config);
+    // One booted simulator shared by all tests that declare no
+    // cross-test state; boot and layout are paid once for the lot.
+    std::unique_ptr<uarch::Simulator> shared;
+    for (const auto& wl : suite) {
+        if (wl->hasCrossTestState()) {
+            results[wl->name()] =
+                measureWorkload(image, info, *wl, config);
+            continue;
+        }
+        if (!shared) {
+            shared =
+                std::make_unique<uarch::Simulator>(image, config.params);
+            workload::KernelHandle handle(*shared, info);
+            handle.boot();
+        } else {
+            // Comparable starting conditions without a re-boot.
+            shared->resetMicroarch();
+        }
+        results[wl->name()] =
+            measureOnBooted(*shared, info, *wl, config);
+    }
     return results;
 }
 

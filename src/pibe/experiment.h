@@ -8,6 +8,7 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,10 +45,17 @@ Measurement measureWorkload(const ir::Module& image,
                             workload::Workload& wl,
                             const MeasureConfig& config = {});
 
-/** Measure a whole suite; returns test name -> measurement. */
+/**
+ * Measure a whole suite; returns test name -> measurement.
+ *
+ * Workloads that declare no cross-test state (see
+ * Workload::hasCrossTestState) share a single booted image — the
+ * microarchitectural state is reset between tests, but boot and code
+ * layout are paid once. Stateful workloads get a fresh boot each.
+ */
 std::map<std::string, Measurement>
 measureSuite(const ir::Module& image, const kernel::KernelInfo& info,
-             const std::vector<std::unique_ptr<workload::Workload>>& suite,
+             std::span<const std::unique_ptr<workload::Workload>> suite,
              const MeasureConfig& config = {});
 
 /**

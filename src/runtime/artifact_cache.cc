@@ -1,0 +1,103 @@
+#include "runtime/artifact_cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+#include "support/logging.h"
+
+namespace pibe::runtime {
+
+namespace fs = std::filesystem;
+
+void
+ArtifactCache::setDiskDir(const std::string& dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        PIBE_FATAL("cannot create cache directory ", dir, ": ",
+                   ec.message());
+    std::lock_guard<std::mutex> lock(mu_);
+    disk_dir_ = dir;
+}
+
+std::string
+ArtifactCache::defaultDiskDir()
+{
+    const char* home = std::getenv("HOME");
+    if (home == nullptr || home[0] == '\0')
+        return "/tmp/pibe-artifacts";
+    return std::string(home) + "/.cache/pibe-artifacts";
+}
+
+std::string
+ArtifactCache::diskPath(const std::string& key) const
+{
+    return disk_dir_ + "/" + key + ".art";
+}
+
+std::optional<std::string>
+ArtifactCache::get(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memory_.find(key);
+    if (it != memory_.end()) {
+        ++stats_.mem_hits;
+        return it->second;
+    }
+    if (!disk_dir_.empty()) {
+        std::ifstream in(diskPath(key), std::ios::binary);
+        if (in) {
+            std::ostringstream os;
+            os << in.rdbuf();
+            std::string value = os.str();
+            memory_[key] = value; // promote for this process
+            ++stats_.disk_hits;
+            return value;
+        }
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+ArtifactCache::put(const std::string& key, const std::string& value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.puts;
+    memory_[key] = value;
+    if (disk_dir_.empty())
+        return;
+    // Atomic publish: write to a per-thread temp name, then rename.
+    // Losers of a same-key race overwrite with identical content.
+    std::ostringstream tmp_name;
+    tmp_name << diskPath(key) << ".tmp."
+             << std::hash<std::thread::id>{}(std::this_thread::get_id());
+    {
+        std::ofstream out(tmp_name.str(), std::ios::binary);
+        if (!out) {
+            warn("artifact cache: cannot write ", tmp_name.str(),
+                 "; disk tier skipped for this artifact");
+            return;
+        }
+        out << value;
+    }
+    std::error_code ec;
+    fs::rename(tmp_name.str(), diskPath(key), ec);
+    if (ec)
+        warn("artifact cache: rename failed for ", diskPath(key), ": ",
+             ec.message());
+}
+
+CacheStats
+ArtifactCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace pibe::runtime

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Content-addressed artifact cache.
+ *
+ * Artifacts are strings (PIR module dumps, serialized profiles,
+ * serialized measurements) addressed by the hex digest of everything
+ * that determined them — see runtime/digest.h. Two tiers:
+ *
+ *  - in-memory: always on, shared within one process/run;
+ *  - on-disk (optional): a directory of `<key>.art` files (default
+ *    `~/.cache/pibe-artifacts/`, or `--cache-dir`), which is what
+ *    makes re-runs and cross-table sharing near-free.
+ *
+ * Disk writes are atomic (temp file + rename) so concurrent producers
+ * of the same key are harmless: content addressing means they wrote
+ * identical bytes.
+ */
+#ifndef PIBE_RUNTIME_ARTIFACT_CACHE_H_
+#define PIBE_RUNTIME_ARTIFACT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace pibe::runtime {
+
+/** Hit/miss counters, cumulative over the cache's lifetime. */
+struct CacheStats
+{
+    uint64_t mem_hits = 0;
+    uint64_t disk_hits = 0;
+    uint64_t misses = 0;
+    uint64_t puts = 0;
+
+    uint64_t hits() const { return mem_hits + disk_hits; }
+    uint64_t lookups() const { return hits() + misses; }
+
+    double
+    hitRate() const
+    {
+        return lookups() == 0
+                   ? 0.0
+                   : static_cast<double>(hits()) /
+                         static_cast<double>(lookups());
+    }
+};
+
+/** Thread-safe two-tier (memory + optional disk) artifact store. */
+class ArtifactCache
+{
+  public:
+    ArtifactCache() = default;
+
+    /**
+     * Enable the disk tier rooted at `dir` (created if missing).
+     * Fatal if the directory cannot be created.
+     */
+    void setDiskDir(const std::string& dir);
+
+    /** Default on-disk location: $HOME/.cache/pibe-artifacts. */
+    static std::string defaultDiskDir();
+
+    /** Look up `key` (memory first, then disk). */
+    std::optional<std::string> get(const std::string& key);
+
+    /** Store `value` under `key` in every enabled tier. */
+    void put(const std::string& key, const std::string& value);
+
+    CacheStats stats() const;
+
+    bool diskEnabled() const { return !disk_dir_.empty(); }
+
+  private:
+    std::string diskPath(const std::string& key) const;
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::string> memory_;
+    std::string disk_dir_;
+    CacheStats stats_;
+};
+
+} // namespace pibe::runtime
+
+#endif // PIBE_RUNTIME_ARTIFACT_CACHE_H_

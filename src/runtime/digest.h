@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Content digests for the artifact cache.
+ *
+ * A Digest is an incremental dual-lane FNV-1a hash over a stream of
+ * typed values. Two independent 64-bit lanes (different offset bases,
+ * same FNV prime) give a 128-bit key, which makes accidental
+ * collisions irrelevant at our scale while keeping the hash trivially
+ * portable and dependency-free. Every value is fed length- or
+ * width-delimited so that adjacent fields cannot alias (e.g. "ab"+"c"
+ * vs "a"+"bc" digest differently).
+ */
+#ifndef PIBE_RUNTIME_DIGEST_H_
+#define PIBE_RUNTIME_DIGEST_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace pibe::runtime {
+
+/** Incremental 128-bit (2x64) FNV-1a content hash. */
+class Digest
+{
+  public:
+    /** Absorb raw bytes. */
+    Digest&
+    appendBytes(const void* data, size_t size)
+    {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (size_t i = 0; i < size; ++i) {
+            a_ = (a_ ^ p[i]) * kPrime;
+            b_ = (b_ ^ p[i]) * kPrime;
+        }
+        return *this;
+    }
+
+    /** Absorb a string, length-prefixed. */
+    Digest&
+    add(std::string_view s)
+    {
+        add(static_cast<uint64_t>(s.size()));
+        return appendBytes(s.data(), s.size());
+    }
+
+    Digest& add(const char* s) { return add(std::string_view(s)); }
+
+    /** Absorb an unsigned 64-bit value (fixed width). */
+    Digest&
+    add(uint64_t v)
+    {
+        unsigned char bytes[8];
+        for (int i = 0; i < 8; ++i)
+            bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+        return appendBytes(bytes, sizeof(bytes));
+    }
+
+    Digest& add(int64_t v) { return add(static_cast<uint64_t>(v)); }
+    Digest& add(uint32_t v) { return add(static_cast<uint64_t>(v)); }
+    Digest& add(int32_t v) { return add(static_cast<uint64_t>(
+        static_cast<int64_t>(v))); }
+    Digest& add(bool v) { return add(static_cast<uint64_t>(v ? 1 : 0)); }
+
+    /** Absorb a double by bit pattern (exact, no formatting). */
+    Digest&
+    add(double v)
+    {
+        return add(std::bit_cast<uint64_t>(v));
+    }
+
+    /** First lane; usable as an RNG seed for per-job determinism. */
+    uint64_t value() const { return a_; }
+
+    /** 32 lowercase hex chars covering both lanes (the cache key). */
+    std::string
+    hex() const
+    {
+        static const char* kDigits = "0123456789abcdef";
+        std::string out(32, '0');
+        for (int i = 0; i < 16; ++i) {
+            out[15 - i] = kDigits[(a_ >> (4 * i)) & 0xf];
+            out[31 - i] = kDigits[(b_ >> (4 * i)) & 0xf];
+        }
+        return out;
+    }
+
+  private:
+    static constexpr uint64_t kPrime = 0x100000001b3ull;
+    uint64_t a_ = 0xcbf29ce484222325ull; ///< Standard FNV offset basis.
+    uint64_t b_ = 0xcbf29ce484222325ull ^ 0x9e3779b97f4a7c15ull;
+};
+
+} // namespace pibe::runtime
+
+#endif // PIBE_RUNTIME_DIGEST_H_

@@ -1,0 +1,71 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+namespace pibe::runtime {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    const size_t n = std::max<size_t>(1, num_threads);
+    threads_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        PIBE_ASSERT(!shutting_down_,
+                    "ThreadPool::submit after shutdown");
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (shutting_down_ && threads_.empty())
+            return;
+        shutting_down_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_)
+        t.join();
+    threads_.clear();
+}
+
+uint64_t
+ThreadPool::tasksRun() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_run_;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] {
+                return shutting_down_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // shutting down and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++tasks_run_;
+        }
+        task();
+    }
+}
+
+} // namespace pibe::runtime

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fixed-size worker thread pool with a futures-based submit() API.
+ *
+ * The pool is the execution substrate of the experiment runtime: the
+ * JobGraph scheduler feeds it ready jobs, and standalone users (e.g.
+ * the CLI's parallel measure path) can submit closures directly.
+ * Shutdown is graceful — queued work is drained before workers join —
+ * so results are never silently dropped.
+ */
+#ifndef PIBE_RUNTIME_THREAD_POOL_H_
+#define PIBE_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace pibe::runtime {
+
+/** Fixed-size thread pool. All public methods are thread-safe. */
+class ThreadPool
+{
+  public:
+    /** Spawn `num_threads` workers (clamped to at least 1). */
+    explicit ThreadPool(size_t num_threads);
+
+    /** Graceful shutdown: drains the queue, then joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /**
+     * Enqueue `fn` and return a future for its result. Exceptions
+     * thrown by `fn` propagate through the future.
+     * @pre shutdown() has not been called.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        post([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Stop accepting work, finish everything already queued, and join
+     * all workers. Idempotent; called by the destructor.
+     */
+    void shutdown();
+
+    /** Number of worker threads. */
+    size_t size() const { return threads_.size(); }
+
+    /** Total tasks executed so far. */
+    uint64_t tasksRun() const;
+
+  private:
+    void post(std::function<void()> task);
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    uint64_t tasks_run_ = 0;
+    bool shutting_down_ = false;
+};
+
+} // namespace pibe::runtime
+
+#endif // PIBE_RUNTIME_THREAD_POOL_H_

@@ -76,10 +76,11 @@ struct TestSpec
 
 std::unique_ptr<Workload>
 simple(const char* name, SimpleWorkload::SetupFn setup,
-       SimpleWorkload::IterFn iter)
+       SimpleWorkload::IterFn iter, bool cross_test_state = true)
 {
     return std::make_unique<SimpleWorkload>(name, std::move(setup),
-                                            std::move(iter));
+                                            std::move(iter),
+                                            cross_test_state);
 }
 
 /** Shared fd slots filled during setup, captured by iterations. */
@@ -95,9 +96,12 @@ specs()
     static const std::vector<TestSpec> kSpecs = {
         {"null",
          [] {
+             // No setup and no persistent kernel effects: safe to
+             // share a booted image across suite entries.
              return simple(
                  "null", nullptr,
-                 [](KernelHandle& k, uint64_t) { k.syscall(kNull); });
+                 [](KernelHandle& k, uint64_t) { k.syscall(kNull); },
+                 /*cross_test_state=*/false);
          }},
         {"read",
          [] {
@@ -127,13 +131,15 @@ specs()
          }},
         {"open",
          [] {
+             // Every opened fd is closed again: fd-table neutral.
              return simple("open", nullptr,
                            [](KernelHandle& k, uint64_t i) {
                                int64_t fd = k.syscall(
                                    kOpen,
                                    KernelHandle::pathHash(i % 8), 0);
                                k.syscall(kClose, fd);
-                           });
+                           },
+                           /*cross_test_state=*/false);
          }},
         {"stat",
          [] {
@@ -142,7 +148,8 @@ specs()
                                k.syscall(kStat,
                                          KernelHandle::pathHash(i % 8),
                                          128);
-                           });
+                           },
+                           /*cross_test_state=*/false);
          }},
         {"fstat",
          [] {
@@ -300,13 +307,15 @@ specs()
          }},
         {"mmap",
          [] {
+             // Mappings are unmapped within the iteration: VMA neutral.
              return simple("mmap", nullptr,
                            [](KernelHandle& k, uint64_t i) {
                                int64_t addr =
                                    8192 + (i % 16) * 64;
                                k.syscall(kMmap, addr, 64);
                                k.syscall(kMunmap, addr, 64);
-                           });
+                           },
+                           /*cross_test_state=*/false);
          }},
         {"page_fault",
          [] {

@@ -13,6 +13,7 @@
  *                 [--defense none|retpolines|ret-retpolines|lvi|all|
  *                            jumpswitches] [--report]
  *   pibe measure  -m image.pir [--baseline base.pir] [--test NAME]
+ *                 [--jobs N] [--cache-dir DIR]
  *   pibe attack   -m image.pir [--kind spectre-v2|ret2spec|lvi]
  *   pibe stats    -m file.pir
  *   pibe selftest            (end-to-end smoke of all subcommands)
@@ -27,12 +28,16 @@
 
 #include "harden/harden.h"
 #include "ir/parser.h"
+#include "pibe/engine.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
 #include "kernel/kernel.h"
 #include "pibe/experiment.h"
 #include "pibe/pipeline.h"
 #include "profile/serialize.h"
+#include "runtime/artifact_cache.h"
+#include "runtime/job_graph.h"
+#include "runtime/thread_pool.h"
 #include "support/stats.h"
 #include "support/table.h"
 #include "uarch/simulator.h"
@@ -231,36 +236,79 @@ cmdOptimize(Args& args)
 int
 cmdMeasure(Args& args)
 {
-    ir::Module m = loadModule(args.get("-m", "image.pir"));
+    const std::string image_path = args.get("-m", "image.pir");
+    const std::string image_text = readFile(image_path);
+    ir::Module m = ir::parseModule(image_text);
+    ir::verifyOrDie(m, image_path);
     kernel::KernelInfo info = kernel::kernelInfoFromModule(m);
     std::string test = args.get("--test", "all");
     std::string baseline_path = args.get("--baseline");
+    unsigned jobs = static_cast<unsigned>(
+        std::stoul(args.get("--jobs", "1")));
+    std::string cache_dir = args.get("--cache-dir");
 
-    std::vector<std::unique_ptr<workload::Workload>> suite;
-    if (test == "all")
-        suite = workload::makeLmbenchSuite();
-    else
-        suite.push_back(workload::makeLmbenchTest(test));
+    runtime::ArtifactCache cache;
+    if (!cache_dir.empty())
+        cache.setDiskDir(cache_dir);
 
-    std::map<std::string, double> base;
+    std::vector<std::string> tests;
+    if (test == "all") {
+        for (const auto& wl : workload::makeLmbenchSuite())
+            tests.push_back(wl->name());
+    } else {
+        tests.push_back(test);
+    }
+
+    std::string base_text;
+    std::unique_ptr<ir::Module> base_mod;
+    kernel::KernelInfo base_info;
     if (!baseline_path.empty()) {
-        ir::Module b = loadModule(baseline_path);
-        for (auto& wl : suite) {
-            base[wl->name()] =
-                core::measureWorkload(b, info, *wl).latency_us;
+        base_text = readFile(baseline_path);
+        base_mod =
+            std::make_unique<ir::Module>(ir::parseModule(base_text));
+        ir::verifyOrDie(*base_mod, baseline_path);
+        base_info = kernel::kernelInfoFromModule(*base_mod);
+    }
+
+    // One job per (image, test), each writing its own pre-sized slot;
+    // results are position-addressed so --jobs N output is identical
+    // to serial.
+    const core::MeasureConfig config;
+    std::vector<double> lat(tests.size());
+    std::vector<double> base_lat(tests.size());
+    runtime::JobGraph graph;
+    for (size_t i = 0; i < tests.size(); ++i) {
+        graph.add("measure:" + tests[i],
+                  [&, i](const runtime::JobContext&) {
+                      lat[i] = core::measureWorkloadCached(
+                                   image_text, m, info, tests[i],
+                                   config, &cache)
+                                   .latency_us;
+                  });
+        if (base_mod) {
+            graph.add("baseline:" + tests[i],
+                      [&, i](const runtime::JobContext&) {
+                          base_lat[i] =
+                              core::measureWorkloadCached(
+                                  base_text, *base_mod, base_info,
+                                  tests[i], config, &cache)
+                                  .latency_us;
+                      });
         }
     }
+    runtime::ThreadPool pool(std::max(1u, jobs));
+    graph.run(pool);
+    pool.shutdown();
+
     Table t(baseline_path.empty()
                 ? std::vector<std::string>{"Test", "latency (us)"}
                 : std::vector<std::string>{"Test", "latency (us)",
                                            "overhead"});
     std::vector<double> overheads;
-    for (auto& wl : suite) {
-        auto meas = core::measureWorkload(m, info, *wl);
-        std::vector<std::string> row{wl->name(),
-                                     fixedStr(meas.latency_us, 3)};
-        if (!base.empty()) {
-            double o = overhead(meas.latency_us, base[wl->name()]);
+    for (size_t i = 0; i < tests.size(); ++i) {
+        std::vector<std::string> row{tests[i], fixedStr(lat[i], 3)};
+        if (base_mod) {
+            double o = overhead(lat[i], base_lat[i]);
             overheads.push_back(o);
             row.push_back(percent(o));
         }

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Run the four job-graph table benchmarks serially (no cache) and then
+# in parallel with a shared artifact cache, verify that the table
+# output is byte-identical, and emit BENCH_tables.json with wall-clock
+# and cache statistics per table.
+#
+# Usage: tools/run_all_tables.sh [BUILD_DIR] [OUT_JSON]
+#   BUILD_DIR  cmake build tree holding the bench binaries (default: build)
+#   OUT_JSON   output metrics file (default: BENCH_tables.json)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_tables.json}"
+JOBS="$(nproc)"
+TABLES=(table5_all_defenses table6_per_defense table3_retpolines
+        table7_macrobenchmarks)
+
+for t in "${TABLES[@]}"; do
+    if [[ ! -x "$BUILD_DIR/bench/$t" ]]; then
+        echo "error: $BUILD_DIR/bench/$t not found;" \
+             "build with: cmake -B $BUILD_DIR -S . &&" \
+             "cmake --build $BUILD_DIR -j" >&2
+        exit 1
+    fi
+done
+
+WORK="$(mktemp -d /tmp/pibe_tables.XXXXXX)"
+CACHE_DIR="$WORK/cache"
+trap 'rm -rf "$WORK"' EXIT
+
+now_ms() { date +%s%3N; }
+
+echo "== serial reference run (--jobs 1 --no-cache) =="
+serial_t0=$(now_ms)
+for t in "${TABLES[@]}"; do
+    t0=$(now_ms)
+    "$BUILD_DIR/bench/$t" --jobs 1 --no-cache > "$WORK/$t.serial.txt"
+    echo "  $t: $(( $(now_ms) - t0 )) ms"
+done
+serial_ms=$(( $(now_ms) - serial_t0 ))
+
+echo "== parallel run (--jobs $JOBS, shared cache) =="
+parallel_t0=$(now_ms)
+for t in "${TABLES[@]}"; do
+    t0=$(now_ms)
+    "$BUILD_DIR/bench/$t" --jobs "$JOBS" --cache-dir "$CACHE_DIR" \
+        --metrics-json "$WORK/$t.metrics.json" > "$WORK/$t.parallel.txt"
+    echo "  $t: $(( $(now_ms) - t0 )) ms"
+done
+parallel_ms=$(( $(now_ms) - parallel_t0 ))
+
+echo "== verifying byte-identical table output =="
+for t in "${TABLES[@]}"; do
+    if ! cmp -s "$WORK/$t.serial.txt" "$WORK/$t.parallel.txt"; then
+        echo "FAIL: $t output differs between serial and parallel:" >&2
+        diff "$WORK/$t.serial.txt" "$WORK/$t.parallel.txt" >&2 || true
+        exit 1
+    fi
+    echo "  $t: identical"
+done
+
+speedup=$(awk -v s="$serial_ms" -v p="$parallel_ms" \
+    'BEGIN { printf "%.2f", (p > 0) ? s / p : 0 }')
+
+{
+    echo "{"
+    echo "  \"jobs\": $JOBS,"
+    echo "  \"serial_wall_s\": $(awk -v ms="$serial_ms" \
+        'BEGIN { printf "%.3f", ms / 1000 }'),"
+    echo "  \"parallel_wall_s\": $(awk -v ms="$parallel_ms" \
+        'BEGIN { printf "%.3f", ms / 1000 }'),"
+    echo "  \"speedup\": $speedup,"
+    echo "  \"output_identical\": true,"
+    echo "  \"tables\": ["
+    sep=""
+    for t in "${TABLES[@]}"; do
+        printf '%s    %s' "$sep" "$(cat "$WORK/$t.metrics.json")"
+        sep=$',\n'
+    done
+    printf '\n  ]\n}\n'
+} > "$OUT_JSON"
+
+echo "== done =="
+echo "serial:   ${serial_ms} ms"
+echo "parallel: ${parallel_ms} ms (speedup ${speedup}x)"
+echo "metrics:  $OUT_JSON"
