@@ -5,8 +5,18 @@
  * These measure the reproduction's own engine, not the paper's
  * results — the table/figure binaries alongside this one use
  * simulated cycles, which wall-clock timing cannot express.
+ *
+ * Besides the google-benchmark suite, `--interpreter-json FILE` runs
+ * the decoded hot loop and the pre-rewrite reference loop on the same
+ * syscall workload and writes FILE (BENCH_interpreter.json) with both
+ * throughputs, their ratio, and decode cost — the per-PR perf record
+ * tools/run_all_tables.sh merges into the bench metrics.
  */
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "opt/cleanup.h"
@@ -40,10 +50,11 @@ sharedProfile()
 }
 
 void
-BM_SimulatorSyscallThroughput(benchmark::State& state)
+syscallThroughput(benchmark::State& state, bool reference)
 {
     const auto& k = sharedKernel();
     uarch::Simulator sim(k.module);
+    sim.setUseReferencePath(reference);
     workload::KernelHandle handle(sim, k.info);
     handle.boot();
     uint64_t instructions = 0;
@@ -55,7 +66,22 @@ BM_SimulatorSyscallThroughput(benchmark::State& state)
     state.counters["sim_instructions_per_s"] = benchmark::Counter(
         static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
+
+void
+BM_SimulatorSyscallThroughput(benchmark::State& state)
+{
+    syscallThroughput(state, /*reference=*/false);
+}
 BENCHMARK(BM_SimulatorSyscallThroughput);
+
+/** The pre-rewrite loop on the same workload: the denominator of the
+ *  decoded engine's speedup. */
+void
+BM_SimulatorSyscallThroughputReference(benchmark::State& state)
+{
+    syscallThroughput(state, /*reference=*/true);
+}
+BENCHMARK(BM_SimulatorSyscallThroughputReference);
 
 void
 BM_KernelBuild(benchmark::State& state)
@@ -113,7 +139,89 @@ BM_CleanupModule(benchmark::State& state)
 }
 BENCHMARK(BM_CleanupModule);
 
+// ---------------------------------------------------------------------
+// --interpreter-json: decoded vs reference throughput, as JSON.
+
+/** Simulated instructions per host second over >= min_seconds of the
+ *  read-syscall workload (after a fixed warmup). */
+double
+syscallRate(bool reference, double min_seconds)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto& k = sharedKernel();
+    uarch::Simulator sim(k.module);
+    sim.setUseReferencePath(reference);
+    workload::KernelHandle handle(sim, k.info);
+    handle.boot();
+    for (int i = 0; i < 200; ++i)
+        handle.syscall(kernel::sysno::kRead, 3, 0, 4);
+    sim.clearStats();
+    const Clock::time_point t0 = Clock::now();
+    double elapsed = 0;
+    do {
+        for (int i = 0; i < 1000; ++i)
+            handle.syscall(kernel::sysno::kRead, 3, 0, 4);
+        elapsed = std::chrono::duration<double>(Clock::now() - t0)
+                      .count();
+    } while (elapsed < min_seconds);
+    return static_cast<double>(sim.stats().instructions) / elapsed;
+}
+
+int
+writeInterpreterJson(const char* path)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto& k = sharedKernel();
+
+    const Clock::time_point t0 = Clock::now();
+    const uarch::DecodedModule decoded(k.module);
+    const double decode_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+
+    const double reference = syscallRate(/*reference=*/true, 2.0);
+    const double hot = syscallRate(/*reference=*/false, 2.0);
+
+    std::FILE* out = std::fopen(path, "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out,
+                 "  \"benchmark\": \"read syscall, 32-driver kernel\",\n");
+    std::fprintf(out, "  \"decoded_minstr_per_s\": %.3f,\n", hot / 1e6);
+    std::fprintf(out, "  \"reference_minstr_per_s\": %.3f,\n",
+                 reference / 1e6);
+    std::fprintf(out, "  \"speedup\": %.3f,\n", hot / reference);
+    std::fprintf(out, "  \"decode_ms\": %.3f,\n", decode_ms);
+    std::fprintf(out, "  \"decoded_bytes\": %zu,\n",
+                 decoded.decodedBytes());
+    std::fprintf(out, "  \"decoded_insts\": %zu\n",
+                 decoded.code().size());
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("interpreter: decoded %.2f Minstr/s, reference %.2f "
+                "Minstr/s (%.2fx) -> %s\n",
+                hot / 1e6, reference / 1e6, hot / reference, path);
+    return 0;
+}
+
 } // namespace
 } // namespace pibe
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--interpreter-json") == 0 &&
+            i + 1 < argc)
+            return pibe::writeInterpreterJson(argv[i + 1]);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

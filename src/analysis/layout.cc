@@ -78,17 +78,20 @@ CodeLayout::CodeLayout(const ir::Module& module)
         cursor = (cursor + kFuncAlign - 1) & ~(kFuncAlign - 1);
         FuncLayout& fl = funcs_[f.id];
         fl.base = cursor;
-        fl.inst_offsets.resize(f.blocks.size());
+        fl.offsets.reserve(f.instructionCount() + 1);
+        fl.block_first.reserve(f.blocks.size() + 1);
         uint32_t offset = 0;
-        for (ir::BlockId b = 0; b < f.blocks.size(); ++b) {
-            auto& offsets = fl.inst_offsets[b];
-            offsets.reserve(f.blocks[b].insts.size() + 1);
-            for (const auto& inst : f.blocks[b].insts) {
-                offsets.push_back(offset);
+        for (const ir::BasicBlock& bb : f.blocks) {
+            fl.block_first.push_back(
+                static_cast<uint32_t>(fl.offsets.size()));
+            for (const auto& inst : bb.insts) {
+                fl.offsets.push_back(offset);
                 offset += instByteSize(inst);
             }
-            offsets.push_back(offset); // end sentinel
         }
+        fl.block_first.push_back(
+            static_cast<uint32_t>(fl.offsets.size()));
+        fl.offsets.push_back(offset); // end-of-function sentinel
         cursor += offset;
     }
     image_size_ = cursor;
@@ -104,26 +107,49 @@ CodeLayout::funcBase(ir::FuncId f) const
 uint64_t
 CodeLayout::blockStart(ir::FuncId f, ir::BlockId b) const
 {
-    PIBE_ASSERT(f < funcs_.size() && b < funcs_[f].inst_offsets.size(),
+    PIBE_ASSERT(f < funcs_.size() &&
+                    b + 1 < funcs_[f].block_first.size(),
                 "blockStart: bad ref");
-    return funcs_[f].base + funcs_[f].inst_offsets[b].front();
+    // A block's first offset; an empty block shares its successor's
+    // start, and the trailing offsets entry covers the last block.
+    return funcs_[f].base +
+           funcs_[f].offsets[funcs_[f].block_first[b]];
 }
 
 uint64_t
 CodeLayout::blockEnd(ir::FuncId f, ir::BlockId b) const
 {
-    PIBE_ASSERT(f < funcs_.size() && b < funcs_[f].inst_offsets.size(),
+    PIBE_ASSERT(f < funcs_.size() &&
+                    b + 1 < funcs_[f].block_first.size(),
                 "blockEnd: bad ref");
-    return funcs_[f].base + funcs_[f].inst_offsets[b].back();
+    return funcs_[f].base +
+           funcs_[f].offsets[funcs_[f].block_first[b + 1]];
 }
 
 uint64_t
 CodeLayout::instAddr(ir::FuncId f, ir::BlockId b, uint32_t idx) const
 {
-    PIBE_ASSERT(f < funcs_.size() && b < funcs_[f].inst_offsets.size() &&
-                    idx + 1 < funcs_[f].inst_offsets[b].size(),
+    PIBE_ASSERT(f < funcs_.size() &&
+                    b + 1 < funcs_[f].block_first.size() &&
+                    funcs_[f].block_first[b] + idx <
+                        funcs_[f].block_first[b + 1],
                 "instAddr: bad ref");
-    return funcs_[f].base + funcs_[f].inst_offsets[b][idx];
+    return funcs_[f].base +
+           funcs_[f].offsets[funcs_[f].block_first[b] + idx];
+}
+
+const std::vector<uint32_t>&
+CodeLayout::instOffsets(ir::FuncId f) const
+{
+    PIBE_ASSERT(f < funcs_.size(), "instOffsets: bad func id");
+    return funcs_[f].offsets;
+}
+
+const std::vector<uint32_t>&
+CodeLayout::blockFirstInst(ir::FuncId f) const
+{
+    PIBE_ASSERT(f < funcs_.size(), "blockFirstInst: bad func id");
+    return funcs_[f].block_first;
 }
 
 uint64_t

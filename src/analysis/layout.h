@@ -45,6 +45,21 @@ class CodeLayout
     /** Address of instruction `idx` within block `b` of function `f`. */
     uint64_t instAddr(ir::FuncId f, ir::BlockId b, uint32_t idx) const;
 
+    /**
+     * Flat per-function offset table: one entry per instruction in
+     * block order plus a trailing end-of-function sentinel, each
+     * relative to funcBase(f). Blocks are delimited by
+     * blockFirstInst(f): block `b` owns entries
+     * [blockFirstInst(f)[b], blockFirstInst(f)[b+1]). Consumers that
+     * walk whole functions (the pre-decoder) read these directly
+     * instead of paying the per-instruction accessor checks.
+     */
+    const std::vector<uint32_t>& instOffsets(ir::FuncId f) const;
+
+    /** Flat index of each block's first instruction, plus a trailing
+     *  total-instruction-count sentinel (size = numBlocks + 1). */
+    const std::vector<uint32_t>& blockFirstInst(ir::FuncId f) const;
+
     /** Total image size in bytes (code plus shared thunks). */
     uint64_t imageSize() const { return image_size_; }
 
@@ -58,9 +73,14 @@ class CodeLayout
     struct FuncLayout
     {
         uint64_t base = 0;
-        // block_offsets[b] holds the per-instruction offsets of block b
-        // relative to the function base, plus one trailing end offset.
-        std::vector<std::vector<uint32_t>> inst_offsets;
+        // One offset per instruction in block order, relative to
+        // `base`, plus a trailing end-of-function offset. A block's
+        // end equals the next block's first offset (code is laid out
+        // contiguously), so no per-block sentinel is needed.
+        std::vector<uint32_t> offsets;
+        // offsets index of each block's first instruction, plus a
+        // trailing total-count entry (size = numBlocks + 1).
+        std::vector<uint32_t> block_first;
     };
 
     std::vector<FuncLayout> funcs_;

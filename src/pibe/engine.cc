@@ -253,21 +253,28 @@ collectLmbenchProfile(const ir::Module& kernel,
 
 Measurement
 measureWorkloadCached(const std::string& image_text,
-                      const ir::Module& image,
+                      std::shared_ptr<const uarch::DecodedModule> decoded,
                       const kernel::KernelInfo& info,
                       const std::string& workload_name,
                       const MeasureConfig& config,
                       runtime::ArtifactCache* cache)
 {
     runtime::Digest d;
-    d.add("pibe-measure-v1").add(image_text).add(workload_name);
+    // v2: measurements run on the pre-decoded stream; its format
+    // version invalidates cached results if the encoding ever changes
+    // observable stats.
+    d.add("pibe-measure-v2")
+        .add(uarch::DecodedModule::kFormatVersion)
+        .add(image_text)
+        .add(workload_name);
     hashMeasureConfig(d, config);
     if (cache) {
         if (std::optional<std::string> text = cache->get(d.hex()))
             return parseMeasurement(*text);
     }
     auto wl = makeWorkloadByName(workload_name);
-    Measurement m = measureWorkload(image, info, *wl, config);
+    Measurement m =
+        measureWorkload(std::move(decoded), info, *wl, config);
     if (cache)
         cache->put(d.hex(), serializeMeasurement(m));
     return m;
@@ -310,6 +317,9 @@ runExperiments(const ExperimentPlan& plan, const EngineOptions& opts)
         std::string text;
         std::unique_ptr<ir::Module> module;
         kernel::KernelInfo info;
+        /** Decoded once in the image job, shared by every measurement
+         *  job on this image (decode cost is per image, not per run). */
+        std::shared_ptr<const uarch::DecodedModule> decoded;
     };
     // Pre-create every slot so parallel jobs never mutate map
     // structure, only their own entries.
@@ -399,6 +409,9 @@ runExperiments(const ExperimentPlan& plan, const EngineOptions& opts)
                     ir::parseModule(slot->text));
                 slot->info =
                     kernel::kernelInfoFromModule(*slot->module);
+                slot->decoded =
+                    std::make_shared<const uarch::DecodedModule>(
+                        *slot->module);
             },
             {profile_job});
     }
@@ -410,7 +423,7 @@ runExperiments(const ExperimentPlan& plan, const EngineOptions& opts)
              out = &results.measurements.at(run.image).at(run.workload)](
                 const runtime::JobContext&) {
                 *out = measureWorkloadCached(
-                    img->text, *img->module, img->info, run.workload,
+                    img->text, img->decoded, img->info, run.workload,
                     plan.measure, opts.use_cache ? &cache : nullptr);
             },
             {image_jobs.at(run.image)});

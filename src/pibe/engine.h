@@ -113,19 +113,22 @@ ExperimentResults runExperiments(const ExperimentPlan& plan,
                                  const EngineOptions& opts = {});
 
 /**
- * One cached measurement. Key = (canonical image text, workload name,
- * MeasureConfig incl. cost params); value = the serialized
- * Measurement, doubles stored as bit patterns so a hit reproduces the
- * computed result exactly. `workload_name` is an LMBench test name or
- * "nginx" / "apache" / "dbench". `cache` may be null (no memoization).
- * Shared by runExperiments() and `pibe measure --jobs`.
+ * One cached measurement. Key = (canonical image text, decoded-stream
+ * format version, workload name, MeasureConfig incl. cost params);
+ * value = the serialized Measurement, doubles stored as bit patterns
+ * so a hit reproduces the computed result exactly. `decoded` is the
+ * pre-decoded image (decode once, pass to every measurement of the
+ * same image). `workload_name` is an LMBench test name or "nginx" /
+ * "apache" / "dbench". `cache` may be null (no memoization). Shared by
+ * runExperiments() and `pibe measure --jobs`.
  */
-Measurement measureWorkloadCached(const std::string& image_text,
-                                  const ir::Module& image,
-                                  const kernel::KernelInfo& info,
-                                  const std::string& workload_name,
-                                  const MeasureConfig& config,
-                                  runtime::ArtifactCache* cache);
+Measurement
+measureWorkloadCached(const std::string& image_text,
+                      std::shared_ptr<const uarch::DecodedModule> decoded,
+                      const kernel::KernelInfo& info,
+                      const std::string& workload_name,
+                      const MeasureConfig& config,
+                      runtime::ArtifactCache* cache);
 
 /**
  * The canonical LMBench training profile: each test contributes

@@ -40,7 +40,17 @@ Measurement
 measureWorkload(const ir::Module& image, const kernel::KernelInfo& info,
                 workload::Workload& wl, const MeasureConfig& config)
 {
-    uarch::Simulator sim(image, config.params);
+    return measureWorkload(
+        std::make_shared<const uarch::DecodedModule>(image), info, wl,
+        config);
+}
+
+Measurement
+measureWorkload(std::shared_ptr<const uarch::DecodedModule> decoded,
+                const kernel::KernelInfo& info, workload::Workload& wl,
+                const MeasureConfig& config)
+{
+    uarch::Simulator sim(std::move(decoded), config.params);
     workload::KernelHandle handle(sim, info);
     handle.boot();
     return measureOnBooted(sim, info, wl, config);
@@ -52,18 +62,21 @@ measureSuite(const ir::Module& image, const kernel::KernelInfo& info,
              const MeasureConfig& config)
 {
     std::map<std::string, Measurement> results;
-    // One booted simulator shared by all tests that declare no
-    // cross-test state; boot and layout are paid once for the lot.
+    // Decode once for the whole suite: stateful workloads get a fresh
+    // boot on the shared decoded image, stateless ones also share one
+    // booted simulator.
+    const auto decoded =
+        std::make_shared<const uarch::DecodedModule>(image);
     std::unique_ptr<uarch::Simulator> shared;
     for (const auto& wl : suite) {
         if (wl->hasCrossTestState()) {
             results[wl->name()] =
-                measureWorkload(image, info, *wl, config);
+                measureWorkload(decoded, info, *wl, config);
             continue;
         }
         if (!shared) {
-            shared =
-                std::make_unique<uarch::Simulator>(image, config.params);
+            shared = std::make_unique<uarch::Simulator>(decoded,
+                                                        config.params);
             workload::KernelHandle handle(*shared, info);
             handle.boot();
         } else {
@@ -82,12 +95,15 @@ collectProfile(const ir::Module& linked, const kernel::KernelInfo& info,
                uint32_t iters_per_test, uint32_t repeats)
 {
     profile::EdgeProfile profile;
+    // One decode serves every profiling simulator below.
+    const auto decoded =
+        std::make_shared<const uarch::DecodedModule>(linked);
     for (uint32_t round = 0; round < repeats; ++round) {
         // Fresh kernel state per test so descriptor/socket tables do
         // not leak across setups (each LMBench binary is a process).
         for (const auto& wl : suite) {
             profile::EdgeProfile test_profile;
-            uarch::Simulator sim(linked);
+            uarch::Simulator sim(decoded);
             sim.setTimingEnabled(false);
             sim.setProfiler(&test_profile);
             workload::KernelHandle handle(sim, info);

@@ -46,6 +46,16 @@ Measurement measureWorkload(const ir::Module& image,
                             const MeasureConfig& config = {});
 
 /**
+ * Same, on a pre-decoded image: decoding is paid by the caller, once,
+ * and shared across every simulator built from it (the engine decodes
+ * each image a single time for all of its measurement jobs).
+ */
+Measurement
+measureWorkload(std::shared_ptr<const uarch::DecodedModule> decoded,
+                const kernel::KernelInfo& info, workload::Workload& wl,
+                const MeasureConfig& config = {});
+
+/**
  * Measure a whole suite; returns test name -> measurement.
  *
  * Workloads that declare no cross-test state (see

@@ -1,0 +1,221 @@
+#include "uarch/decoded_module.h"
+
+#include <algorithm>
+
+namespace pibe::uarch {
+
+namespace {
+
+/**
+ * Dense switch tables trade memory for O(1) dispatch; cap the waste
+ * so a sparse value set (e.g. {0, 1 << 20}) falls back to binary
+ * search instead of allocating a huge mostly-default table.
+ */
+constexpr uint64_t kMaxDenseRange = 1024;
+
+bool
+denseWorthIt(uint64_t range, size_t cases)
+{
+    return range <= kMaxDenseRange && range <= 4 * cases;
+}
+
+} // namespace
+
+DecodedModule::DecodedModule(const ir::Module& module)
+    : module_(module), layout_(module)
+{
+    const size_t num_funcs = module.numFunctions();
+    funcs_.resize(num_funcs);
+
+    // Pass 1: per-function code bases and one BlockTarget per block.
+    // Code indices mirror the layout's flat offset table exactly: the
+    // i-th instruction of a function (in block order) is code entry
+    // code_base[f] + i.
+    std::vector<uint32_t> code_base(num_funcs, 0);
+    std::vector<uint32_t> target_base(num_funcs, 0);
+    uint32_t code_cursor = 0;
+    uint32_t target_cursor = 0;
+    for (const ir::Function& f : module.functions()) {
+        code_base[f.id] = code_cursor;
+        target_base[f.id] = target_cursor;
+        code_cursor += static_cast<uint32_t>(f.instructionCount());
+        target_cursor += static_cast<uint32_t>(f.blocks.size());
+    }
+    code_.reserve(code_cursor);
+    targets_.resize(target_cursor);
+
+    for (const ir::Function& f : module.functions()) {
+        const auto& block_first = layout_.blockFirstInst(f.id);
+        const auto& offsets = layout_.instOffsets(f.id);
+        const uint64_t base = layout_.funcBase(f.id);
+        for (ir::BlockId b = 0; b < f.blocks.size(); ++b) {
+            BlockTarget& bt = targets_[target_base[f.id] + b];
+            bt.code_index = code_base[f.id] + block_first[b];
+            bt.start_addr = base + offsets[block_first[b]];
+            bt.end_addr = base + offsets[block_first[b + 1]];
+        }
+
+        DecodedFunction& df = funcs_[f.id];
+        df.is_declaration = f.isDeclaration();
+        df.num_params = f.num_params;
+        df.num_regs = f.num_regs;
+        df.frame_size = f.frame_size;
+        df.base_addr = base;
+        df.func = &f;
+        if (!df.is_declaration)
+            df.entry = targets_[target_base[f.id]];
+    }
+
+    // Pass 2: flatten instructions.
+    for (const ir::Function& f : module.functions()) {
+        const auto& block_first = layout_.blockFirstInst(f.id);
+        const auto& offsets = layout_.instOffsets(f.id);
+        const uint64_t base = layout_.funcBase(f.id);
+        uint32_t flat = 0;
+        for (ir::BlockId b = 0; b < f.blocks.size(); ++b) {
+            const uint64_t block_end =
+                base + offsets[block_first[b + 1]];
+            for (const ir::Instruction& inst : f.blocks[b].insts) {
+                DecodedInst d;
+                d.op = inst.op;
+                d.bin = inst.bin;
+                d.fwd_scheme = inst.fwd_scheme;
+                d.ret_scheme = inst.ret_scheme;
+                d.dst = inst.dst;
+                d.a = inst.a;
+                d.b = inst.b;
+                d.imm = inst.imm;
+                d.addr = base + offsets[flat];
+                // Instructions are laid out back to back, so the next
+                // flat offset (or the end sentinel) is addr + size.
+                d.next_addr = base + offsets[flat + 1];
+                d.block_end = block_end;
+                d.callee = inst.callee;
+                d.global = inst.global;
+                d.site_id = inst.site_id;
+
+                switch (inst.op) {
+                  case ir::Opcode::kCall: {
+                    const ir::Function& callee =
+                        module.func(inst.callee);
+                    PIBE_ASSERT(inst.args.size() == callee.num_params,
+                                "call arity mismatch for ",
+                                callee.name, " in ", f.name);
+                    d.callee_is_decl = callee.isDeclaration();
+                    break;
+                  }
+                  case ir::Opcode::kICall:
+                    if (inst.fwd_scheme == ir::FwdScheme::kJumpSwitch) {
+                        // Sites sharing a site_id share JumpSwitch
+                        // runtime state, exactly like the map the
+                        // dense slots replace.
+                        auto [it, inserted] =
+                            js_slot_of_site_.try_emplace(
+                                inst.site_id, num_js_slots_);
+                        if (inserted)
+                            ++num_js_slots_;
+                        d.js_slot = it->second;
+                    }
+                    break;
+                  case ir::Opcode::kBr:
+                    d.t0 = target_base[f.id] + inst.t0;
+                    break;
+                  case ir::Opcode::kCondBr:
+                    d.t0 = target_base[f.id] + inst.t0;
+                    d.t1 = target_base[f.id] + inst.t1;
+                    break;
+                  case ir::Opcode::kSwitch: {
+                    d.t0 = target_base[f.id] + inst.t0;
+                    // Collect cases, keeping only the first
+                    // occurrence of a duplicate value (the linear
+                    // scan's first-match semantics).
+                    std::vector<SwitchCase> cases;
+                    cases.reserve(inst.case_values.size());
+                    for (size_t c = 0; c < inst.case_values.size();
+                         ++c) {
+                        const int64_t v = inst.case_values[c];
+                        const bool seen = std::any_of(
+                            cases.begin(), cases.end(),
+                            [v](const SwitchCase& sc) {
+                                return sc.value == v;
+                            });
+                        if (!seen) {
+                            cases.push_back(
+                                {v, target_base[f.id] +
+                                        inst.case_targets[c]});
+                        }
+                    }
+                    std::sort(cases.begin(), cases.end(),
+                              [](const SwitchCase& x,
+                                 const SwitchCase& y) {
+                                  return x.value < y.value;
+                              });
+                    if (!cases.empty()) {
+                        const int64_t lo = cases.front().value;
+                        const int64_t hi = cases.back().value;
+                        const uint64_t range =
+                            static_cast<uint64_t>(hi) -
+                            static_cast<uint64_t>(lo) + 1;
+                        if (denseWorthIt(range, cases.size())) {
+                            d.switch_dense = true;
+                            d.imm = lo;
+                            d.sw_begin = static_cast<uint32_t>(
+                                dense_targets_.size());
+                            d.sw_count =
+                                static_cast<uint32_t>(range);
+                            dense_targets_.resize(
+                                dense_targets_.size() + range,
+                                kNoIndex);
+                            for (const SwitchCase& sc : cases) {
+                                dense_targets_
+                                    [d.sw_begin +
+                                     static_cast<uint64_t>(sc.value) -
+                                     static_cast<uint64_t>(lo)] =
+                                        sc.target;
+                            }
+                        }
+                    }
+                    if (!d.switch_dense) {
+                        d.sw_begin = static_cast<uint32_t>(
+                            switch_cases_.size());
+                        d.sw_count =
+                            static_cast<uint32_t>(cases.size());
+                        switch_cases_.insert(switch_cases_.end(),
+                                             cases.begin(),
+                                             cases.end());
+                    }
+                    break;
+                  }
+                  default:
+                    break;
+                }
+
+                if (!inst.args.empty()) {
+                    d.args_begin =
+                        static_cast<uint32_t>(args_pool_.size());
+                    d.args_count =
+                        static_cast<uint32_t>(inst.args.size());
+                    args_pool_.insert(args_pool_.end(),
+                                      inst.args.begin(),
+                                      inst.args.end());
+                }
+
+                code_.push_back(d);
+                ++flat;
+            }
+        }
+    }
+}
+
+size_t
+DecodedModule::decodedBytes() const
+{
+    return code_.size() * sizeof(DecodedInst) +
+           targets_.size() * sizeof(BlockTarget) +
+           args_pool_.size() * sizeof(ir::Reg) +
+           switch_cases_.size() * sizeof(SwitchCase) +
+           dense_targets_.size() * sizeof(uint32_t) +
+           funcs_.size() * sizeof(DecodedFunction);
+}
+
+} // namespace pibe::uarch

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The pre-decoded execution image: everything the interpreter hot
+ * loop used to recompute per instruction, computed once per module.
+ *
+ * Decoding flattens each function's blocks into one contiguous
+ * DecodedInst stream and bakes in:
+ *  - the instruction's byte address, encoded size, and the end
+ *    address of its containing block (fetch ranges become two loads);
+ *  - resolved callee ids with declaration flags (kCall) and a flat
+ *    per-function table for dynamic targets (kICall);
+ *  - branch targets as {code index, block start, block end} triples,
+ *    so taken branches are a single indexed jump plus fetch;
+ *  - switch dispatch lowered to either a dense table (contiguous case
+ *    values) or a value-sorted array for binary search — replacing
+ *    the O(cases) linear scan — while preserving the original
+ *    first-match semantics for duplicate case values;
+ *  - a dense JumpSwitch state index (site_id -> slot) replacing the
+ *    hot-path unordered_map lookup;
+ *  - call arguments as (offset, count) windows into one shared pool.
+ *
+ * A DecodedModule is immutable after construction and holds no
+ * runtime state, so one instance can be shared by any number of
+ * simulators (measureSuite shares one across a whole workload suite).
+ * Decoding only reads the module and the layout; it does not depend
+ * on CostParams, so the cache key is the module alone.
+ *
+ * The decoded program is an *encoding*, not a semantic change: every
+ * address, cost, predictor index, and counter the interpreter derives
+ * from it is bit-identical to what the original per-instruction
+ * lookups produced (tests/test_differential.cc enforces this against
+ * golden stats recorded before the rewrite).
+ */
+#ifndef PIBE_UARCH_DECODED_MODULE_H_
+#define PIBE_UARCH_DECODED_MODULE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/layout.h"
+#include "ir/module.h"
+
+namespace pibe::uarch {
+
+/** Sentinel for "no index" in decoded tables. */
+constexpr uint32_t kNoIndex = 0xffffffffu;
+
+/** A branch destination: where to continue and what to fetch. */
+struct BlockTarget
+{
+    uint32_t code_index = kNoIndex; ///< First DecodedInst of the block.
+    uint64_t start_addr = 0;        ///< Block start (fetch + BTB).
+    uint64_t end_addr = 0;          ///< One past the block's last byte.
+};
+
+/** One switch case prepared for binary search (sorted by value). */
+struct SwitchCase
+{
+    int64_t value = 0;
+    uint32_t target = kNoIndex; ///< BlockTarget index.
+};
+
+/**
+ * One flattened instruction. Field meaning depends on `op` exactly as
+ * in ir::Instruction; everything else is precomputed decode output.
+ */
+struct DecodedInst
+{
+    // Hot fields first: the fetch/execute path of the simple opcodes
+    // (const/move/binop/load/store) reads only the first 32 bytes.
+    ir::Opcode op = ir::Opcode::kConst;
+    ir::BinKind bin = ir::BinKind::kAdd;
+    bool callee_is_decl = false; ///< kCall: callee has no body.
+    bool switch_dense = false;   ///< kSwitch: dense-table dispatch.
+    ir::FwdScheme fwd_scheme = ir::FwdScheme::kNone;
+    ir::RetScheme ret_scheme = ir::RetScheme::kNone;
+
+    ir::Reg dst = ir::kNoReg;
+    ir::Reg a = ir::kNoReg;
+    ir::Reg b = ir::kNoReg;
+    int64_t imm = 0; ///< kSwitch dense mode: minimum case value.
+    ir::GlobalId global = 0;
+    uint32_t t0 = kNoIndex; ///< BlockTarget: kBr / kCondBr-true /
+                            ///< kSwitch default.
+    uint32_t t1 = kNoIndex; ///< BlockTarget: kCondBr-false.
+
+    uint64_t addr = 0;      ///< Byte address of this instruction.
+    uint64_t next_addr = 0; ///< addr + instByteSize (return address).
+    uint64_t block_end = 0; ///< End of the containing block.
+
+    ir::FuncId callee = ir::kInvalidFunc; ///< kCall / kFuncAddr.
+    uint32_t args_begin = 0; ///< Into DecodedModule::argsPool().
+    uint32_t args_count = 0;
+    uint32_t sw_begin = 0; ///< Into switchCases() or denseTargets().
+    uint32_t sw_count = 0;
+    uint32_t js_slot = kNoIndex; ///< Dense JumpSwitch state slot.
+    ir::SiteId site_id = ir::kNoSite;
+};
+
+/** Per-function decode results (indexed by FuncId). */
+struct DecodedFunction
+{
+    bool is_declaration = true;
+    uint32_t num_params = 0;
+    uint32_t num_regs = 0;
+    uint32_t frame_size = 0;
+    BlockTarget entry; ///< Block 0: code index + fetch range.
+    uint64_t base_addr = 0;
+    const ir::Function* func = nullptr; ///< Names for diagnostics.
+};
+
+class DecodedModule
+{
+  public:
+    /**
+     * Bump when the decoded encoding could change observable stats;
+     * hashed into measurement artifact digests so stale cached
+     * measurements never alias a decode change.
+     */
+    static constexpr uint32_t kFormatVersion = 1;
+
+    /** Decode `module` (which must outlive this object). */
+    explicit DecodedModule(const ir::Module& module);
+
+    const ir::Module& module() const { return module_; }
+    const analysis::CodeLayout& layout() const { return layout_; }
+
+    const DecodedFunction& func(ir::FuncId f) const
+    {
+        PIBE_ASSERT(f < funcs_.size(), "DecodedModule: bad FuncId");
+        return funcs_[f];
+    }
+    size_t numFunctions() const { return funcs_.size(); }
+
+    const std::vector<DecodedInst>& code() const { return code_; }
+    const std::vector<BlockTarget>& targets() const { return targets_; }
+    const std::vector<ir::Reg>& argsPool() const { return args_pool_; }
+    const std::vector<SwitchCase>& switchCases() const
+    {
+        return switch_cases_;
+    }
+    const std::vector<uint32_t>& denseTargets() const
+    {
+        return dense_targets_;
+    }
+
+    /** Number of dense JumpSwitch state slots to allocate. */
+    uint32_t numJsSlots() const { return num_js_slots_; }
+
+    /** Dense slot of a JumpSwitch site id (kNoIndex if not one). */
+    uint32_t
+    jsSlotOf(ir::SiteId site) const
+    {
+        auto it = js_slot_of_site_.find(site);
+        return it == js_slot_of_site_.end() ? kNoIndex : it->second;
+    }
+
+    /** Approximate bytes held by the decoded tables (profiling). */
+    size_t decodedBytes() const;
+
+  private:
+    const ir::Module& module_;
+    analysis::CodeLayout layout_;
+    std::vector<DecodedFunction> funcs_;
+    std::vector<DecodedInst> code_;
+    std::vector<BlockTarget> targets_;
+    std::vector<ir::Reg> args_pool_;
+    std::vector<SwitchCase> switch_cases_;
+    std::vector<uint32_t> dense_targets_; ///< BlockTarget index or
+                                          ///< kNoIndex (= default).
+    std::unordered_map<ir::SiteId, uint32_t> js_slot_of_site_;
+    uint32_t num_js_slots_ = 0;
+};
+
+} // namespace pibe::uarch
+
+#endif // PIBE_UARCH_DECODED_MODULE_H_

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Binary-operator evaluation shared by the decoded and reference
+ * interpreter loops — one definition so the two paths cannot drift.
+ */
+#ifndef PIBE_UARCH_EVAL_BIN_H_
+#define PIBE_UARCH_EVAL_BIN_H_
+
+#include <cstdint>
+
+#include "ir/module.h"
+#include "support/logging.h"
+
+namespace pibe::uarch {
+
+/** Evaluate a binary operation the way the interpreter defines it. */
+inline int64_t
+evalBin(ir::BinKind kind, int64_t a, int64_t b)
+{
+    using ir::BinKind;
+    const auto ua = static_cast<uint64_t>(a);
+    const auto ub = static_cast<uint64_t>(b);
+    switch (kind) {
+      case BinKind::kAdd: return static_cast<int64_t>(ua + ub);
+      case BinKind::kSub: return static_cast<int64_t>(ua - ub);
+      case BinKind::kMul: return static_cast<int64_t>(ua * ub);
+      case BinKind::kDiv:
+        if (b == 0)
+            PIBE_FATAL("division by zero in simulated code");
+        return static_cast<int64_t>(ua / ub);
+      case BinKind::kRem:
+        if (b == 0)
+            PIBE_FATAL("remainder by zero in simulated code");
+        return static_cast<int64_t>(ua % ub);
+      case BinKind::kAnd: return a & b;
+      case BinKind::kOr:  return a | b;
+      case BinKind::kXor: return a ^ b;
+      case BinKind::kShl: return static_cast<int64_t>(ua << (ub & 63));
+      case BinKind::kShr: return static_cast<int64_t>(ua >> (ub & 63));
+      case BinKind::kEq:  return a == b;
+      case BinKind::kNe:  return a != b;
+      case BinKind::kLt:  return a < b;
+      case BinKind::kLe:  return a <= b;
+      case BinKind::kGt:  return a > b;
+      case BinKind::kGe:  return a >= b;
+    }
+    PIBE_PANIC("unhandled BinKind");
+}
+
+} // namespace pibe::uarch
+
+#endif // PIBE_UARCH_EVAL_BIN_H_

@@ -3,55 +3,20 @@
 namespace pibe::uarch {
 
 ICache::ICache(uint32_t size_bytes, uint32_t assoc, uint32_t line_bytes)
-    : assoc_(assoc), line_bytes_(line_bytes)
+    : assoc_(assoc)
 {
     PIBE_ASSERT(assoc > 0 && line_bytes > 0, "bad icache geometry");
+    PIBE_ASSERT((line_bytes & (line_bytes - 1)) == 0,
+                "icache line size must be a power of two");
     PIBE_ASSERT(size_bytes % (assoc * line_bytes) == 0,
                 "icache size must be a multiple of assoc * line");
     num_sets_ = size_bytes / (assoc * line_bytes);
     PIBE_ASSERT((num_sets_ & (num_sets_ - 1)) == 0,
                 "icache set count must be a power of two");
+    line_shift_ = 0;
+    while ((1u << line_shift_) < line_bytes)
+        ++line_shift_;
     ways_.resize(static_cast<size_t>(num_sets_) * assoc_);
-}
-
-uint32_t
-ICache::touch(uint64_t addr)
-{
-    const uint64_t line = addr / line_bytes_;
-    const uint32_t set = static_cast<uint32_t>(line & (num_sets_ - 1));
-    Way* base = &ways_[static_cast<size_t>(set) * assoc_];
-    ++accesses_;
-    ++tick_;
-
-    uint32_t victim = 0;
-    uint64_t oldest = ~0ull;
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (base[w].tag == line) {
-            base[w].lru = tick_;
-            return 0;
-        }
-        if (base[w].lru < oldest) {
-            oldest = base[w].lru;
-            victim = w;
-        }
-    }
-    base[victim].tag = line;
-    base[victim].lru = tick_;
-    ++misses_;
-    return 1;
-}
-
-uint32_t
-ICache::touchRange(uint64_t start, uint64_t end)
-{
-    if (end <= start)
-        return 0;
-    uint32_t miss_count = 0;
-    const uint64_t first = start / line_bytes_;
-    const uint64_t last = (end - 1) / line_bytes_;
-    for (uint64_t line = first; line <= last; ++line)
-        miss_count += touch(line * line_bytes_);
-    return miss_count;
 }
 
 void

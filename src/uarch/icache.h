@@ -32,12 +32,28 @@ class ICache
 
     /**
      * Fetch the code bytes [start, end); returns the number of line
-     * misses incurred.
+     * misses incurred. Inline: this runs on every simulated block
+     * transition, call, and return.
      */
-    uint32_t touchRange(uint64_t start, uint64_t end);
+    uint32_t
+    touchRange(uint64_t start, uint64_t end)
+    {
+        if (end <= start)
+            return 0;
+        uint32_t miss_count = 0;
+        const uint64_t first = start >> line_shift_;
+        const uint64_t last = (end - 1) >> line_shift_;
+        for (uint64_t line = first; line <= last; ++line)
+            miss_count += touchLine(line);
+        return miss_count;
+    }
 
     /** Fetch a single line containing `addr`; returns 1 on miss. */
-    uint32_t touch(uint64_t addr);
+    uint32_t
+    touch(uint64_t addr)
+    {
+        return touchLine(addr >> line_shift_);
+    }
 
     void flush();
 
@@ -51,8 +67,36 @@ class ICache
         uint64_t lru = 0;
     };
 
+    /** LRU lookup/fill for one line number; returns 1 on miss. */
+    uint32_t
+    touchLine(uint64_t line)
+    {
+        const uint32_t set =
+            static_cast<uint32_t>(line & (num_sets_ - 1));
+        Way* base = &ways_[static_cast<size_t>(set) * assoc_];
+        ++accesses_;
+        ++tick_;
+
+        uint32_t victim = 0;
+        uint64_t oldest = ~0ull;
+        for (uint32_t w = 0; w < assoc_; ++w) {
+            if (base[w].tag == line) {
+                base[w].lru = tick_;
+                return 0;
+            }
+            if (base[w].lru < oldest) {
+                oldest = base[w].lru;
+                victim = w;
+            }
+        }
+        base[victim].tag = line;
+        base[victim].lru = tick_;
+        ++misses_;
+        return 1;
+    }
+
     uint32_t assoc_;
-    uint32_t line_bytes_;
+    uint32_t line_shift_; ///< log2(line size): line = addr >> shift.
     uint32_t num_sets_;
     std::vector<Way> ways_; // num_sets_ * assoc_
     uint64_t tick_ = 0;

@@ -91,7 +91,10 @@ class Rsb
     void
     push(uint64_t ret_addr)
     {
-        top_ = (top_ + 1) % ring_.size();
+        // Branchy wrap instead of modulo: push/pop run once per
+        // simulated call/return, and the ring size is not a compile
+        // time constant, so `%` would be a hardware division.
+        top_ = top_ + 1 == ring_.size() ? 0 : top_ + 1;
         ring_[top_] = ret_addr;
         if (fill_ < ring_.size())
             ++fill_;
@@ -107,7 +110,8 @@ class Rsb
         if (fill_ == 0)
             return 0;
         uint64_t v = ring_[top_];
-        top_ = (top_ + ring_.size() - 1) % ring_.size();
+        top_ = top_ == 0 ? static_cast<uint32_t>(ring_.size()) - 1
+                         : top_ - 1;
         --fill_;
         return v;
     }

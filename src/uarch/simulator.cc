@@ -1,56 +1,32 @@
+/**
+ * @file
+ * Shared simulator state management and the pre-decoded hot loop.
+ * The reference (pre-rewrite) loop lives in simulator_ref.cc.
+ */
 #include "uarch/simulator.h"
 
 #include <algorithm>
 
+#include "uarch/eval_bin.h"
+
 namespace pibe::uarch {
 
-namespace {
-
-/** Evaluate a binary operation the way the interpreter defines it. */
-int64_t
-evalBin(ir::BinKind kind, int64_t a, int64_t b)
+Simulator::Simulator(const ir::Module& module, const CostParams& params)
+    : Simulator(std::make_shared<const DecodedModule>(module), params)
 {
-    using ir::BinKind;
-    const auto ua = static_cast<uint64_t>(a);
-    const auto ub = static_cast<uint64_t>(b);
-    switch (kind) {
-      case BinKind::kAdd: return static_cast<int64_t>(ua + ub);
-      case BinKind::kSub: return static_cast<int64_t>(ua - ub);
-      case BinKind::kMul: return static_cast<int64_t>(ua * ub);
-      case BinKind::kDiv:
-        if (b == 0)
-            PIBE_FATAL("division by zero in simulated code");
-        return static_cast<int64_t>(ua / ub);
-      case BinKind::kRem:
-        if (b == 0)
-            PIBE_FATAL("remainder by zero in simulated code");
-        return static_cast<int64_t>(ua % ub);
-      case BinKind::kAnd: return a & b;
-      case BinKind::kOr:  return a | b;
-      case BinKind::kXor: return a ^ b;
-      case BinKind::kShl: return static_cast<int64_t>(ua << (ub & 63));
-      case BinKind::kShr: return static_cast<int64_t>(ua >> (ub & 63));
-      case BinKind::kEq:  return a == b;
-      case BinKind::kNe:  return a != b;
-      case BinKind::kLt:  return a < b;
-      case BinKind::kLe:  return a <= b;
-      case BinKind::kGt:  return a > b;
-      case BinKind::kGe:  return a >= b;
-    }
-    PIBE_PANIC("unhandled BinKind");
 }
 
-} // namespace
-
-Simulator::Simulator(const ir::Module& module, const CostParams& params)
-    : module_(module),
+Simulator::Simulator(std::shared_ptr<const DecodedModule> decoded,
+                     const CostParams& params)
+    : decoded_(std::move(decoded)),
+      module_(decoded_->module()),
       params_(params),
-      layout_(module),
       btb_(params_.btb_entries),
       rsb_(params_.rsb_entries),
       pht_(params_.pht_entries),
       icache_(params_.icache_bytes, params_.icache_assoc,
-              params_.icache_line)
+              params_.icache_line),
+      js_states_(decoded_->numJsSlots())
 {
     resetMemory();
 }
@@ -71,7 +47,7 @@ Simulator::resetMicroarch()
     rsb_.flush();
     pht_.flush();
     icache_.flush();
-    js_states_.clear();
+    js_states_.assign(decoded_->numJsSlots(), JsState{});
 }
 
 int64_t
@@ -90,72 +66,12 @@ Simulator::writeGlobal(ir::GlobalId g, size_t index, int64_t value)
     globals_[g][index] = value;
 }
 
-void
-Simulator::fetchBlock(ir::FuncId f, ir::BlockId bb, uint32_t from_ip)
-{
-    if (!timing_)
-        return;
-    const uint64_t start = layout_.instAddr(f, bb, from_ip);
-    const uint64_t end = layout_.blockEnd(f, bb);
-    const uint32_t misses = icache_.touchRange(start, end);
-    stats_.icache_misses += misses;
-    stats_.cycles +=
-        static_cast<uint64_t>(misses) * params_.icache_miss_penalty;
-}
-
-void
-Simulator::enterFunction(ir::FuncId f, const std::vector<int64_t>& args,
-                         ir::Reg ret_dst, uint64_t ret_addr)
-{
-    const ir::Function& func = module_.func(f);
-    PIBE_ASSERT(args.size() == func.num_params,
-                "call arity mismatch for ", func.name);
-    if (profiler_)
-        profiler_->addInvocation(f);
-
-    Activation act;
-    act.func = &func;
-    act.fid = f;
-    act.bb = 0;
-    act.ip = 0;
-    act.frame_base = static_cast<uint32_t>(frame_stack_.size());
-    act.ret_dst = ret_dst;
-    act.ret_addr = ret_addr;
-    act.regs.assign(func.num_regs, 0);
-    std::copy(args.begin(), args.end(), act.regs.begin());
-    frame_stack_.resize(frame_stack_.size() + func.frame_size, 0);
-    acts_.push_back(std::move(act));
-
-    stats_.max_call_depth =
-        std::max<uint64_t>(stats_.max_call_depth, acts_.size());
-    stats_.peak_frame_slots =
-        std::max<uint64_t>(stats_.peak_frame_slots, frame_stack_.size());
-    fetchBlock(f, 0, 0);
-}
-
-void
-Simulator::leaveFunction(int64_t value)
-{
-    const Activation done = std::move(acts_.back());
-    acts_.pop_back();
-    frame_stack_.resize(done.frame_base);
-    last_return_ = value;
-    if (!acts_.empty()) {
-        Activation& caller = acts_.back();
-        if (done.ret_dst != ir::kNoReg)
-            caller.regs[done.ret_dst] = value;
-        // Resume mid-block: refetch the remainder of the caller block
-        // (the callee may have evicted the caller's lines).
-        fetchBlock(caller.fid, caller.bb, caller.ip);
-    }
-}
-
 uint32_t
-Simulator::indirectCallCost(uint64_t branch_addr, ir::FuncId target,
-                            const ir::Instruction& inst)
+Simulator::indirectCallCost(uint64_t branch_addr, uint64_t target_addr,
+                            ir::FuncId target, ir::FwdScheme scheme,
+                            uint32_t js_slot)
 {
-    const uint64_t target_addr = layout_.funcBase(target);
-    switch (inst.fwd_scheme) {
+    switch (scheme) {
       case ir::FwdScheme::kNone: {
         const uint64_t predicted = btb_.predict(branch_addr);
         btb_.update(branch_addr, target_addr);
@@ -186,7 +102,9 @@ Simulator::indirectCallCost(uint64_t branch_addr, ir::FuncId target,
         ++stats_.thunk_execs;
         return params_.cost_fenced_retpoline;
       case ir::FwdScheme::kJumpSwitch: {
-        JsState& js = js_states_[inst.site_id];
+        PIBE_ASSERT(js_slot < js_states_.size(),
+                    "JumpSwitch site without a decoded state slot");
+        JsState& js = js_states_[js_slot];
         ++js.execs;
         // Multi-target sites periodically drop back into a learning
         // retpoline that re-ranks targets (§8.2).
@@ -219,11 +137,9 @@ Simulator::indirectCallCost(uint64_t branch_addr, ir::FuncId target,
 }
 
 uint32_t
-Simulator::returnCost(uint64_t ret_inst_addr, uint64_t actual_ret_addr,
-                      const ir::Instruction& inst)
+Simulator::returnCost(uint64_t actual_ret_addr, ir::RetScheme scheme)
 {
-    (void)ret_inst_addr;
-    switch (inst.ret_scheme) {
+    switch (scheme) {
       case ir::RetScheme::kNone: {
         const uint64_t predicted = rsb_.pop();
         if (predicted == actual_ret_addr)
@@ -247,18 +163,19 @@ Simulator::returnCost(uint64_t ret_inst_addr, uint64_t actual_ret_addr,
     PIBE_PANIC("unhandled RetScheme");
 }
 
-int64_t
-Simulator::run(ir::FuncId entry, const std::vector<int64_t>& args)
+bool
+Simulator::beginRun(ir::FuncId entry, size_t num_args)
 {
-    PIBE_ASSERT(acts_.empty(), "Simulator::run is not reentrant");
-    const ir::Function& entry_func = module_.func(entry);
-    if (entry_func.isDeclaration()) {
+    const DecodedFunction& ef = decoded_->func(entry);
+    if (ef.is_declaration) {
         if (timing_)
             stats_.cycles += params_.cost_external;
         if (profiler_)
             profiler_->addInvocation(entry);
-        return 0;
+        return false;
     }
+    PIBE_ASSERT(num_args == ef.num_params, "call arity mismatch for ",
+                ef.func->name);
     // Kernel entry: entry-time attackers pollute predictor state
     // first; RSB refilling (when enabled) then overwrites it (§6.4).
     if (observer_)
@@ -270,262 +187,374 @@ Simulator::run(ir::FuncId entry, const std::vector<int64_t>& args)
         if (timing_)
             stats_.cycles += params_.cost_rsb_refill;
     }
-    enterFunction(entry, args, ir::kNoReg, 0);
+    return true;
+}
 
-    while (!acts_.empty()) {
-        Activation& act = acts_.back();
-        const ir::Function& f = *act.func;
-        PIBE_ASSERT(act.bb < f.blocks.size(), "bad block in ", f.name);
-        const ir::BasicBlock& bb = f.blocks[act.bb];
-        PIBE_ASSERT(act.ip < bb.insts.size(), "fell off block in ",
-                    f.name);
-        const ir::Instruction& inst = bb.insts[act.ip];
-        ++stats_.instructions;
+void
+Simulator::enterDecoded(ir::FuncId f, ir::Reg ret_dst,
+                        uint64_t ret_addr)
+{
+    const DecodedFunction& df = decoded_->func(f);
+    if (profiler_)
+        profiler_->addInvocation(f);
+
+    Frame fr;
+    fr.pc = df.entry.code_index;
+    // pushSlots zeroes the claimed window, so a window reused after an
+    // earlier return starts from zero again — same as the fresh
+    // per-activation vector it replaces.
+    fr.reg_base = pushSlots(reg_stack_, reg_top_, df.num_regs);
+    fr.frame_base = pushSlots(frame_stack_, frame_top_, df.frame_size);
+    fr.fid = f;
+    fr.func = df.func;
+    fr.ret_dst = ret_dst;
+    fr.ret_addr = ret_addr;
+    frames_.push_back(fr);
+
+    stats_.max_call_depth =
+        std::max<uint64_t>(stats_.max_call_depth, frames_.size());
+    stats_.peak_frame_slots =
+        std::max<uint64_t>(stats_.peak_frame_slots, frame_top_);
+    if (timing_)
+        fetchRange(df.entry.start_addr, df.entry.end_addr);
+}
+
+void
+Simulator::leaveDecoded(int64_t value)
+{
+    const Frame done = frames_.back();
+    frames_.pop_back();
+    frame_top_ = done.frame_base;
+    reg_top_ = done.reg_base;
+    last_return_ = value;
+    if (!frames_.empty()) {
+        Frame& caller = frames_.back();
+        if (done.ret_dst != ir::kNoReg)
+            reg_stack_[caller.reg_base + done.ret_dst] = value;
+        // Resume mid-block: refetch the remainder of the caller block
+        // (the callee may have evicted the caller's lines).
+        if (timing_) {
+            const DecodedInst& resume = decoded_->code()[caller.pc];
+            fetchRange(resume.addr, resume.block_end);
+        }
+    }
+}
+
+int64_t
+Simulator::run(ir::FuncId entry, const std::vector<int64_t>& args)
+{
+    if (use_reference_)
+        return runReference(entry, args);
+    PIBE_ASSERT(frames_.empty() && acts_.empty(),
+                "Simulator::run is not reentrant");
+    if (!beginRun(entry, args.size()))
+        return 0;
+    enterDecoded(entry, ir::kNoReg, 0);
+    std::copy(args.begin(), args.end(),
+              reg_stack_.begin() + frames_.back().reg_base);
+    return timing_ ? runLoop<true>() : runLoop<false>();
+}
+
+/**
+ * The decoded hot loop. The interpreter state that changes on every
+ * instruction (pc, register window, frame window) lives in locals;
+ * the Frame object is only synchronized at call boundaries (the
+ * stored pc doubles as the resume point leaveDecoded refetches).
+ * Instruction and cycle counts accumulate in locals as well and are
+ * flushed into stats_ once on exit — the helpers (fetchRange,
+ * indirectCallCost, enterDecoded) keep adding to stats_.cycles
+ * directly, which is fine: the two streams just sum.
+ */
+template <bool Timing>
+int64_t
+Simulator::runLoop()
+{
+    const DecodedInst* const code = decoded_->code().data();
+    const BlockTarget* const targets = decoded_->targets().data();
+    const ir::Reg* const args_pool = decoded_->argsPool().data();
+    const SwitchCase* const sw_cases = decoded_->switchCases().data();
+    const uint32_t* const dense = decoded_->denseTargets().data();
+
+    uint64_t n_insts = 0;
+    uint64_t cycles = 0;
+    uint32_t pc = frames_.back().pc;
+    uint32_t reg_base = frames_.back().reg_base;
+    uint32_t frame_base = frames_.back().frame_base;
+    int64_t* regs = reg_stack_.data() + reg_base;
+    int64_t* frame = frame_stack_.data() + frame_base;
+
+    // Re-derive the local windows after the pooled stacks may have
+    // grown (and relocated) or the active frame changed.
+    const auto reload = [&] {
+        const Frame& fr = frames_.back();
+        pc = fr.pc;
+        reg_base = fr.reg_base;
+        frame_base = fr.frame_base;
+        regs = reg_stack_.data() + reg_base;
+        frame = frame_stack_.data() + frame_base;
+    };
+
+    while (true) {
+        const DecodedInst& inst = code[pc];
+        ++n_insts;
 
         switch (inst.op) {
           case ir::Opcode::kConst:
-            act.regs[inst.dst] = inst.imm;
-            if (timing_)
-                stats_.cycles += params_.cost_free;
-            ++act.ip;
+            regs[inst.dst] = inst.imm;
+            if constexpr (Timing)
+                cycles += params_.cost_free;
+            ++pc;
             break;
           case ir::Opcode::kMove:
-            act.regs[inst.dst] = act.regs[inst.a];
-            if (timing_)
-                stats_.cycles += params_.cost_free;
-            ++act.ip;
+            regs[inst.dst] = regs[inst.a];
+            if constexpr (Timing)
+                cycles += params_.cost_free;
+            ++pc;
             break;
           case ir::Opcode::kBinOp:
-            act.regs[inst.dst] =
-                evalBin(inst.bin, act.regs[inst.a], act.regs[inst.b]);
-            if (timing_)
-                stats_.cycles += params_.cost_simple;
-            ++act.ip;
+            regs[inst.dst] = evalBin(inst.bin, regs[inst.a],
+                                     regs[inst.b]);
+            if constexpr (Timing)
+                cycles += params_.cost_simple;
+            ++pc;
             break;
           case ir::Opcode::kFuncAddr:
-            act.regs[inst.dst] = ir::funcAddrValue(inst.callee);
-            if (timing_)
-                stats_.cycles += params_.cost_free;
-            ++act.ip;
+            regs[inst.dst] = ir::funcAddrValue(inst.callee);
+            if constexpr (Timing)
+                cycles += params_.cost_free;
+            ++pc;
             break;
           case ir::Opcode::kLoad: {
             auto& g = globals_[inst.global];
-            const int64_t index = act.regs[inst.a] + inst.imm;
+            const int64_t index = regs[inst.a] + inst.imm;
             if (index < 0 || index >= static_cast<int64_t>(g.size())) {
                 PIBE_FATAL("load out of bounds: @",
                            module_.global(inst.global).name, "[", index,
-                           "] in ", f.name);
+                           "] in ", frames_.back().func->name);
             }
-            act.regs[inst.dst] = g[index];
-            if (timing_)
-                stats_.cycles += params_.cost_mem;
-            ++act.ip;
+            regs[inst.dst] = g[index];
+            if constexpr (Timing)
+                cycles += params_.cost_mem;
+            ++pc;
             break;
           }
           case ir::Opcode::kStore: {
             auto& g = globals_[inst.global];
-            const int64_t index = act.regs[inst.a] + inst.imm;
+            const int64_t index = regs[inst.a] + inst.imm;
             if (index < 0 || index >= static_cast<int64_t>(g.size())) {
                 PIBE_FATAL("store out of bounds: @",
                            module_.global(inst.global).name, "[", index,
-                           "] in ", f.name);
+                           "] in ", frames_.back().func->name);
             }
-            g[index] = act.regs[inst.b];
-            if (timing_)
-                stats_.cycles += params_.cost_mem;
-            ++act.ip;
+            g[index] = regs[inst.b];
+            if constexpr (Timing)
+                cycles += params_.cost_mem;
+            ++pc;
             break;
           }
           case ir::Opcode::kFrameLoad:
-            act.regs[inst.dst] =
-                frame_stack_[act.frame_base + inst.imm];
-            if (timing_)
-                stats_.cycles += params_.cost_simple;
-            ++act.ip;
+            regs[inst.dst] = frame[inst.imm];
+            if constexpr (Timing)
+                cycles += params_.cost_simple;
+            ++pc;
             break;
           case ir::Opcode::kFrameStore:
-            frame_stack_[act.frame_base + inst.imm] = act.regs[inst.a];
-            if (timing_)
-                stats_.cycles += params_.cost_simple;
-            ++act.ip;
+            frame[inst.imm] = regs[inst.a];
+            if constexpr (Timing)
+                cycles += params_.cost_simple;
+            ++pc;
             break;
           case ir::Opcode::kSink:
             sink_hash_ = sink_hash_ * 0x100000001b3ull ^
-                         static_cast<uint64_t>(act.regs[inst.a]);
-            if (timing_)
-                stats_.cycles += params_.cost_simple;
-            ++act.ip;
+                         static_cast<uint64_t>(regs[inst.a]);
+            if constexpr (Timing)
+                cycles += params_.cost_simple;
+            ++pc;
             break;
           case ir::Opcode::kCall: {
             ++stats_.direct_calls;
             if (profiler_)
                 profiler_->addDirect(inst.site_id);
-            const ir::Function& callee = module_.func(inst.callee);
-            const uint64_t call_addr =
-                layout_.instAddr(act.fid, act.bb, act.ip);
-            const uint64_t next_addr =
-                call_addr + analysis::instByteSize(inst);
-            if (timing_) {
-                stats_.cycles +=
-                    params_.cost_dcall +
-                    params_.cost_arg *
-                        static_cast<uint32_t>(inst.args.size());
+            if constexpr (Timing) {
+                cycles += params_.cost_dcall +
+                          params_.cost_arg * inst.args_count;
             }
-            ++act.ip; // resume after the call upon return
-            if (callee.isDeclaration()) {
+            ++pc; // resume after the call upon return
+            if (inst.callee_is_decl) {
                 if (profiler_)
                     profiler_->addInvocation(inst.callee);
-                if (timing_)
-                    stats_.cycles += params_.cost_external;
+                if constexpr (Timing)
+                    cycles += params_.cost_external;
                 if (inst.dst != ir::kNoReg)
-                    act.regs[inst.dst] = 0;
+                    regs[inst.dst] = 0;
                 break;
             }
-            rsb_.push(next_addr);
-            std::vector<int64_t> call_args;
-            call_args.reserve(inst.args.size());
-            for (ir::Reg r : inst.args)
-                call_args.push_back(act.regs[r]);
-            enterFunction(inst.callee, call_args, inst.dst, next_addr);
+            rsb_.push(inst.next_addr);
+            frames_.back().pc = pc; // resume point for leaveDecoded
+            // Argument transfer straight into the callee's register
+            // window; indices, not pointers — enterDecoded may grow
+            // (and relocate) reg_stack_.
+            const uint32_t caller_base = reg_base;
+            enterDecoded(inst.callee, inst.dst, inst.next_addr);
+            const uint32_t callee_base = frames_.back().reg_base;
+            for (uint32_t i = 0; i < inst.args_count; ++i) {
+                reg_stack_[callee_base + i] =
+                    reg_stack_[caller_base +
+                               args_pool[inst.args_begin + i]];
+            }
+            reload();
             break;
           }
           case ir::Opcode::kICall: {
             ++stats_.indirect_calls;
-            const int64_t value = act.regs[inst.a];
+            const int64_t value = regs[inst.a];
             if (!ir::isFuncAddrValue(value)) {
                 PIBE_FATAL("indirect call through non-function value ",
-                           value, " in ", f.name);
+                           value, " in ", frames_.back().func->name);
             }
             const ir::FuncId target = ir::funcAddrTarget(value);
-            if (target >= module_.numFunctions())
+            if (target >= decoded_->numFunctions()) {
                 PIBE_FATAL("indirect call to unknown function in ",
-                           f.name);
-            const ir::Function& callee = module_.func(target);
-            if (callee.num_params != inst.args.size()) {
-                PIBE_FATAL("indirect call arity mismatch: ", f.name,
-                           " -> ", callee.name);
+                           frames_.back().func->name);
+            }
+            const DecodedFunction& callee = decoded_->func(target);
+            if (callee.num_params != inst.args_count) {
+                PIBE_FATAL("indirect call arity mismatch: ",
+                           frames_.back().func->name, " -> ",
+                           callee.func->name);
             }
             if (profiler_)
                 profiler_->addIndirect(inst.site_id, target);
-            const uint64_t call_addr =
-                layout_.instAddr(act.fid, act.bb, act.ip);
-            const uint64_t next_addr =
-                call_addr + analysis::instByteSize(inst);
             if (observer_) {
-                observer_->onIndirectBranch(call_addr, inst.fwd_scheme,
-                                            layout_.funcBase(target),
-                                            btb_);
+                observer_->onIndirectBranch(inst.addr, inst.fwd_scheme,
+                                            callee.base_addr, btb_);
             }
-            if (timing_) {
-                stats_.cycles +=
-                    indirectCallCost(call_addr, target, inst) +
-                    params_.cost_arg *
-                        static_cast<uint32_t>(inst.args.size());
+            if constexpr (Timing) {
+                cycles +=
+                    indirectCallCost(inst.addr, callee.base_addr,
+                                     target, inst.fwd_scheme,
+                                     inst.js_slot) +
+                    params_.cost_arg * inst.args_count;
             }
-            ++act.ip;
-            if (callee.isDeclaration()) {
+            ++pc;
+            if (callee.is_declaration) {
                 if (profiler_)
                     profiler_->addInvocation(target);
-                if (timing_)
-                    stats_.cycles += params_.cost_external;
+                if constexpr (Timing)
+                    cycles += params_.cost_external;
                 if (inst.dst != ir::kNoReg)
-                    act.regs[inst.dst] = 0;
+                    regs[inst.dst] = 0;
                 break;
             }
-            rsb_.push(next_addr);
-            std::vector<int64_t> call_args;
-            call_args.reserve(inst.args.size());
-            for (ir::Reg r : inst.args)
-                call_args.push_back(act.regs[r]);
-            enterFunction(target, call_args, inst.dst, next_addr);
+            rsb_.push(inst.next_addr);
+            frames_.back().pc = pc;
+            const uint32_t caller_base = reg_base;
+            enterDecoded(target, inst.dst, inst.next_addr);
+            const uint32_t callee_base = frames_.back().reg_base;
+            for (uint32_t i = 0; i < inst.args_count; ++i) {
+                reg_stack_[callee_base + i] =
+                    reg_stack_[caller_base +
+                               args_pool[inst.args_begin + i]];
+            }
+            reload();
             break;
           }
           case ir::Opcode::kRet: {
             ++stats_.returns;
             const int64_t value =
-                inst.a == ir::kNoReg ? 0 : act.regs[inst.a];
-            const uint64_t ret_inst_addr =
-                layout_.instAddr(act.fid, act.bb, act.ip);
+                inst.a == ir::kNoReg ? 0 : regs[inst.a];
+            const uint64_t ret_addr = frames_.back().ret_addr;
             if (observer_) {
-                observer_->onReturn(ret_inst_addr, inst.ret_scheme,
-                                    act.ret_addr, rsb_);
+                observer_->onReturn(inst.addr, inst.ret_scheme,
+                                    ret_addr, rsb_);
             }
-            if (timing_) {
-                stats_.cycles +=
-                    returnCost(ret_inst_addr, act.ret_addr, inst);
-            } else if (inst.ret_scheme == ir::RetScheme::kNone) {
-                rsb_.pop();
+            if constexpr (Timing) {
+                cycles += returnCost(ret_addr, inst.ret_scheme);
             } else {
                 rsb_.pop();
             }
-            leaveFunction(value);
+            leaveDecoded(value);
+            if (frames_.empty()) {
+                stats_.instructions += n_insts;
+                stats_.cycles += cycles;
+                return last_return_;
+            }
+            reload();
             break;
           }
-          case ir::Opcode::kBr:
-            if (timing_)
-                stats_.cycles += params_.cost_br;
-            act.bb = inst.t0;
-            act.ip = 0;
-            fetchBlock(act.fid, act.bb, 0);
+          case ir::Opcode::kBr: {
+            if constexpr (Timing)
+                cycles += params_.cost_br;
+            const BlockTarget& bt = targets[inst.t0];
+            pc = bt.code_index;
+            if constexpr (Timing)
+                fetchRange(bt.start_addr, bt.end_addr);
             break;
+          }
           case ir::Opcode::kCondBr: {
             ++stats_.cond_branches;
-            const bool taken = act.regs[inst.a] != 0;
-            if (timing_) {
-                const uint64_t addr =
-                    layout_.instAddr(act.fid, act.bb, act.ip);
-                const bool predicted = pht_.predictTaken(addr);
-                pht_.update(addr, taken);
+            const bool taken = regs[inst.a] != 0;
+            if constexpr (Timing) {
+                const bool predicted = pht_.predictTaken(inst.addr);
+                pht_.update(inst.addr, taken);
                 if (predicted == taken) {
-                    stats_.cycles += params_.cost_condbr_predicted;
+                    cycles += params_.cost_condbr_predicted;
                 } else {
                     ++stats_.pht_mispredicts;
-                    stats_.cycles += params_.cost_condbr_mispredict;
+                    cycles += params_.cost_condbr_mispredict;
                 }
             }
-            act.bb = taken ? inst.t0 : inst.t1;
-            act.ip = 0;
-            fetchBlock(act.fid, act.bb, 0);
+            const BlockTarget& bt = targets[taken ? inst.t0 : inst.t1];
+            pc = bt.code_index;
+            if constexpr (Timing)
+                fetchRange(bt.start_addr, bt.end_addr);
             break;
           }
           case ir::Opcode::kSwitch: {
             ++stats_.switches;
-            const int64_t value = act.regs[inst.a];
-            ir::BlockId target = inst.t0;
-            for (size_t c = 0; c < inst.case_values.size(); ++c) {
-                if (inst.case_values[c] == value) {
-                    target = inst.case_targets[c];
-                    break;
-                }
+            const int64_t value = regs[inst.a];
+            uint32_t target_idx = inst.t0; // default
+            if (inst.switch_dense) {
+                const uint64_t off = static_cast<uint64_t>(value) -
+                                     static_cast<uint64_t>(inst.imm);
+                if (off < inst.sw_count &&
+                    dense[inst.sw_begin + off] != kNoIndex)
+                    target_idx = dense[inst.sw_begin + off];
+            } else if (inst.sw_count > 0) {
+                const SwitchCase* first = sw_cases + inst.sw_begin;
+                const SwitchCase* last = first + inst.sw_count;
+                const SwitchCase* it = std::lower_bound(
+                    first, last, value,
+                    [](const SwitchCase& sc, int64_t v) {
+                        return sc.value < v;
+                    });
+                if (it != last && it->value == value)
+                    target_idx = it->target;
             }
-            const uint64_t addr =
-                layout_.instAddr(act.fid, act.bb, act.ip);
-            const uint64_t target_addr =
-                layout_.blockStart(act.fid, target);
+            const BlockTarget& bt = targets[target_idx];
             if (observer_) {
                 // A jump-table switch is an indirect jump (forward
                 // edge); surviving ones are unhardened by definition.
-                observer_->onIndirectBranch(addr, inst.fwd_scheme,
-                                            target_addr, btb_);
+                observer_->onIndirectBranch(inst.addr, inst.fwd_scheme,
+                                            bt.start_addr, btb_);
             }
-            if (timing_) {
-                const uint64_t predicted = btb_.predict(addr);
-                btb_.update(addr, target_addr);
-                if (predicted == target_addr) {
-                    stats_.cycles += params_.cost_icall_predicted;
+            if constexpr (Timing) {
+                const uint64_t predicted = btb_.predict(inst.addr);
+                btb_.update(inst.addr, bt.start_addr);
+                if (predicted == bt.start_addr) {
+                    cycles += params_.cost_icall_predicted;
                 } else {
                     ++stats_.btb_mispredicts;
-                    stats_.cycles += params_.cost_icall_mispredict;
+                    cycles += params_.cost_icall_mispredict;
                 }
             }
-            act.bb = target;
-            act.ip = 0;
-            fetchBlock(act.fid, act.bb, 0);
+            pc = bt.code_index;
+            if constexpr (Timing)
+                fetchRange(bt.start_addr, bt.end_addr);
             break;
           }
         }
     }
-    return last_return_;
 }
 
 } // namespace pibe::uarch

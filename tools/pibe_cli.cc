@@ -13,11 +13,12 @@
  *                 [--defense none|retpolines|ret-retpolines|lvi|all|
  *                            jumpswitches] [--report]
  *   pibe measure  -m image.pir [--baseline base.pir] [--test NAME]
- *                 [--jobs N] [--cache-dir DIR]
+ *                 [--jobs N] [--cache-dir DIR] [--decode-stats]
  *   pibe attack   -m image.pir [--kind spectre-v2|ret2spec|lvi]
  *   pibe stats    -m file.pir
  *   pibe selftest            (end-to-end smoke of all subcommands)
  */
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -246,6 +247,15 @@ cmdMeasure(Args& args)
     unsigned jobs = static_cast<unsigned>(
         std::stoul(args.get("--jobs", "1")));
     std::string cache_dir = args.get("--cache-dir");
+    const bool decode_stats = args.has("--decode-stats");
+
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point decode_t0 = Clock::now();
+    const auto decoded = std::make_shared<const uarch::DecodedModule>(m);
+    const double decode_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() -
+                                                  decode_t0)
+            .count();
 
     runtime::ArtifactCache cache;
     if (!cache_dir.empty())
@@ -262,12 +272,15 @@ cmdMeasure(Args& args)
     std::string base_text;
     std::unique_ptr<ir::Module> base_mod;
     kernel::KernelInfo base_info;
+    std::shared_ptr<const uarch::DecodedModule> base_decoded;
     if (!baseline_path.empty()) {
         base_text = readFile(baseline_path);
         base_mod =
             std::make_unique<ir::Module>(ir::parseModule(base_text));
         ir::verifyOrDie(*base_mod, baseline_path);
         base_info = kernel::kernelInfoFromModule(*base_mod);
+        base_decoded =
+            std::make_shared<const uarch::DecodedModule>(*base_mod);
     }
 
     // One job per (image, test), each writing its own pre-sized slot;
@@ -276,21 +289,30 @@ cmdMeasure(Args& args)
     const core::MeasureConfig config;
     std::vector<double> lat(tests.size());
     std::vector<double> base_lat(tests.size());
+    std::vector<uint64_t> run_insts(tests.size());
+    std::vector<double> run_ms(tests.size());
     runtime::JobGraph graph;
     for (size_t i = 0; i < tests.size(); ++i) {
         graph.add("measure:" + tests[i],
                   [&, i](const runtime::JobContext&) {
-                      lat[i] = core::measureWorkloadCached(
-                                   image_text, m, info, tests[i],
-                                   config, &cache)
-                                   .latency_us;
+                      const Clock::time_point t0 = Clock::now();
+                      const core::Measurement meas =
+                          core::measureWorkloadCached(
+                              image_text, decoded, info, tests[i],
+                              config, &cache);
+                      run_ms[i] = std::chrono::duration<double,
+                                                        std::milli>(
+                                      Clock::now() - t0)
+                                      .count();
+                      lat[i] = meas.latency_us;
+                      run_insts[i] = meas.stats.instructions;
                   });
         if (base_mod) {
             graph.add("baseline:" + tests[i],
                       [&, i](const runtime::JobContext&) {
                           base_lat[i] =
                               core::measureWorkloadCached(
-                                  base_text, *base_mod, base_info,
+                                  base_text, base_decoded, base_info,
                                   tests[i], config, &cache)
                                   .latency_us;
                       });
@@ -320,6 +342,32 @@ cmdMeasure(Args& args)
                   percent(geomeanOverhead(overheads))});
     }
     std::printf("%s", t.render().c_str());
+
+    if (decode_stats) {
+        // Host-side interpreter throughput: simulated instructions per
+        // host second of each measurement run (warmup + measured
+        // phases). A cache hit replays stored counters without
+        // interpreting, which shows up as an absurd rate — run with a
+        // cold cache for meaningful numbers.
+        Table dt({"Test", "sim insts", "run (ms)", "MIPS"});
+        for (size_t i = 0; i < tests.size(); ++i) {
+            const double mips =
+                run_ms[i] > 0 ? static_cast<double>(run_insts[i]) /
+                                    (run_ms[i] * 1e3)
+                              : 0;
+            dt.addRow({tests[i], std::to_string(run_insts[i]),
+                       fixedStr(run_ms[i], 2), fixedStr(mips, 1)});
+        }
+        dt.addSeparator();
+        dt.addRow({"decode time (ms)", "-", fixedStr(decode_ms, 2),
+                   "-"});
+        dt.addRow({"decoded stream",
+                   std::to_string(decoded->decodedBytes()) + " bytes",
+                   "-", "-"});
+        dt.addRow({"decoded insts",
+                   std::to_string(decoded->code().size()), "-", "-"});
+        std::printf("\ndecode stats:\n%s", dt.render().c_str());
+    }
     return 0;
 }
 

@@ -2,15 +2,19 @@
 # Run the four job-graph table benchmarks serially (no cache) and then
 # in parallel with a shared artifact cache, verify that the table
 # output is byte-identical, and emit BENCH_tables.json with wall-clock
-# and cache statistics per table.
+# and cache statistics per table. Also runs the interpreter microbench
+# (decoded vs reference hot loop) and merges its result into the JSON
+# so the engine's perf trajectory is tracked per PR.
 #
-# Usage: tools/run_all_tables.sh [BUILD_DIR] [OUT_JSON]
-#   BUILD_DIR  cmake build tree holding the bench binaries (default: build)
-#   OUT_JSON   output metrics file (default: BENCH_tables.json)
+# Usage: tools/run_all_tables.sh [BUILD_DIR] [OUT_JSON] [INTERP_JSON]
+#   BUILD_DIR   cmake build tree holding the bench binaries (default: build)
+#   OUT_JSON    output metrics file (default: BENCH_tables.json)
+#   INTERP_JSON interpreter microbench output (default: BENCH_interpreter.json)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_tables.json}"
+INTERP_JSON="${3:-BENCH_interpreter.json}"
 JOBS="$(nproc)"
 TABLES=(table5_all_defenses table6_per_defense table3_retpolines
         table7_macrobenchmarks)
@@ -62,6 +66,10 @@ done
 speedup=$(awk -v s="$serial_ms" -v p="$parallel_ms" \
     'BEGIN { printf "%.2f", (p > 0) ? s / p : 0 }')
 
+echo "== interpreter microbench (decoded vs reference) =="
+"$BUILD_DIR/bench/microbench_interpreter" \
+    --interpreter-json "$INTERP_JSON"
+
 {
     echo "{"
     echo "  \"jobs\": $JOBS,"
@@ -71,6 +79,8 @@ speedup=$(awk -v s="$serial_ms" -v p="$parallel_ms" \
         'BEGIN { printf "%.3f", ms / 1000 }'),"
     echo "  \"speedup\": $speedup,"
     echo "  \"output_identical\": true,"
+    echo "  \"interpreter\": $(sed 's/^/  /' "$INTERP_JSON" \
+        | sed '1s/^  //'),"
     echo "  \"tables\": ["
     sep=""
     for t in "${TABLES[@]}"; do
