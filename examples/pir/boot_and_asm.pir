@@ -1,0 +1,27 @@
+func @probe(params=1, regs=3, frame=0) boot {
+bb0:
+    r1 = const 7
+    r2 = mul r0, r1
+    ret r2 !site 0
+}
+func @irq_dispatch(params=1, regs=5, frame=0) {
+bb0:
+    r1 = const 1
+    r2 = and r0, r1
+    switch r2 default bb1, 0->bb1, 1->bb2 !asm
+bb1:
+    r3 = const 10
+    sink r3
+    ret r3 !site 1
+bb2:
+    r4 = const 20
+    sink r4
+    ret r4 !site 2
+}
+func @kernel_init(params=0, regs=3, frame=0) boot {
+bb0:
+    r0 = const 3
+    r1 = call @probe(r0) !site 3
+    r2 = call @irq_dispatch(r1) !site 4
+    ret r2 !site 5
+}

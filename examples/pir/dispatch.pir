@@ -1,0 +1,29 @@
+global @ops[4] { 0: 4294967296, 1: 4294967297, 2: 4294967298, 3: 4294967299 }
+func @op_add(params=2, regs=3, frame=0) {
+bb0:
+    r2 = add r0, r1
+    ret r2 !site 0
+}
+func @op_sub(params=2, regs=3, frame=0) {
+bb0:
+    r2 = sub r0, r1
+    ret r2 !site 1
+}
+func @op_mul(params=2, regs=3, frame=0) {
+bb0:
+    r2 = mul r0, r1
+    ret r2 !site 2
+}
+func @op_xor(params=2, regs=3, frame=0) {
+bb0:
+    r2 = xor r0, r1
+    ret r2 !site 3
+}
+func @main(params=3, regs=7, frame=0) {
+bb0:
+    r3 = const 3
+    r4 = and r0, r3
+    r5 = load @ops[r4 + 0]
+    r6 = icall r5(r1, r2) !site 4
+    ret r6 !site 5
+}

@@ -1,0 +1,31 @@
+func @step(params=1, regs=3, frame=0) {
+bb0:
+    r1 = const 1
+    r2 = add r0, r1
+    ret r2 !site 0
+}
+func @main(params=1, regs=8, frame=1) {
+bb0:
+    r1 = const 0
+    frame[0] = r1
+    br bb1
+bb1:
+    switch r0 default bb4, 0->bb2, 1->bb3
+bb2:
+    r2 = frame[0]
+    r3 = call @step(r2) !site 1
+    frame[0] = r3
+    r4 = const 1
+    r0 = add r0, r4
+    br bb1
+bb3:
+    r5 = frame[0]
+    r6 = call @step(r5) !site 2
+    frame[0] = r6
+    r7 = const 1
+    r0 = add r0, r7
+    br bb1
+bb4:
+    r2 = frame[0]
+    ret r2 !site 3
+}

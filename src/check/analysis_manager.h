@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Per-function analysis cache.
+ *
+ * Checkers share analyses (the coverage auditor and the lints both
+ * want reachability; the dead-store and use-before-def lints both sit
+ * on liveness/assignment facts), so the manager computes each analysis
+ * lazily, once per function, and hands out const references. A pass
+ * that mutates a function must invalidate() it (or invalidateAll()
+ * after a module-wide pass) before querying again.
+ */
+#ifndef PIBE_CHECK_ANALYSIS_MANAGER_H_
+#define PIBE_CHECK_ANALYSIS_MANAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "check/cfg.h"
+#include "check/dataflow.h"
+#include "check/dominators.h"
+
+namespace pibe::check {
+
+class AnalysisManager
+{
+  public:
+    explicit AnalysisManager(const ir::Module& module)
+        : module_(module), entries_(module.numFunctions())
+    {
+    }
+
+    const ir::Module& module() const { return module_; }
+
+    /** @pre func has a body (declarations have no analyses). */
+    const Cfg& cfg(ir::FuncId f);
+    const DomTree& domTree(ir::FuncId f);
+    const Liveness& liveness(ir::FuncId f);
+    const FrameLiveness& frameLiveness(ir::FuncId f);
+    const ReachingDefs& reachingDefs(ir::FuncId f);
+    const DefiniteAssignment& definiteAssignment(ir::FuncId f);
+
+    /** Drop every cached analysis of `f` (call after mutating it). */
+    void
+    invalidate(ir::FuncId f)
+    {
+        PIBE_ASSERT(f < entries_.size(), "invalidate: bad FuncId ", f);
+        entries_[f] = Entry{};
+    }
+
+    /** Drop all cached analyses (call after a module-wide pass). */
+    void
+    invalidateAll()
+    {
+        for (Entry& e : entries_)
+            e = Entry{};
+    }
+
+    /** Analyses computed since construction (cache-miss counter). */
+    size_t computations() const { return computations_; }
+
+  private:
+    struct Entry
+    {
+        std::unique_ptr<Cfg> cfg;
+        std::unique_ptr<DomTree> dom;
+        std::unique_ptr<Liveness> live;
+        std::unique_ptr<FrameLiveness> frame_live;
+        std::unique_ptr<ReachingDefs> reaching;
+        std::unique_ptr<DefiniteAssignment> assigned;
+    };
+
+    Entry&
+    entry(ir::FuncId f)
+    {
+        PIBE_ASSERT(f < entries_.size(), "bad FuncId ", f);
+        PIBE_ASSERT(!module_.func(f).isDeclaration(),
+                    "analysis of declaration ", module_.func(f).name);
+        return entries_[f];
+    }
+
+    const ir::Module& module_;
+    std::vector<Entry> entries_;
+    size_t computations_ = 0;
+};
+
+} // namespace pibe::check
+
+#endif // PIBE_CHECK_ANALYSIS_MANAGER_H_

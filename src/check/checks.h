@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The PIBE audit suite (`pibe check`).
+ *
+ * Four checker groups over one module, all emitting structured
+ * Diagnostics:
+ *
+ *  - verify    : the structural verifier (ir::verifyModule), surfaced
+ *                as `verify.function` / `verify.sites` diagnostics so
+ *                one runner covers well-formedness too;
+ *  - lint      : dataflow lints the verifier cannot express —
+ *                use-before-def and maybe-uninitialized registers
+ *                (reaching defs / definite assignment), dead stores to
+ *                registers and frame slots (liveness), unreachable
+ *                blocks, indirect-call arity against resolvable
+ *                targets;
+ *  - coverage  : the hardening-coverage auditor — under a
+ *                DefenseConfig, every *reachable* kICall/kSwitch/kRet
+ *                must carry the scheme the config implies, modulo the
+ *                asm/boot exemptions Table 11 models and an explicit
+ *                allowlist; counts are reconciled against
+ *                harden::analyzeCoverage so the audit and the report
+ *                can never drift apart silently;
+ *  - profile   : Kirchhoff-style flow conservation of an EdgeProfile
+ *                against the module — per-function invocation counts
+ *                equal the sum of incoming profiled call-edge counts
+ *                (roots exempt downward), counts of sites outside CFG
+ *                cycles never exceed their function's invocations,
+ *                and every profiled SiteId / FuncId still resolves.
+ */
+#ifndef PIBE_CHECK_CHECKS_H_
+#define PIBE_CHECK_CHECKS_H_
+
+#include <string>
+#include <vector>
+
+#include "check/analysis_manager.h"
+#include "check/diagnostic.h"
+#include "harden/harden.h"
+#include "profile/edge_profile.h"
+
+namespace pibe::check {
+
+/** Which groups run, and their inputs. */
+struct CheckOptions
+{
+    bool verify = true;
+    bool lint = true;
+    /** Audit hardening coverage under `defense`. */
+    bool coverage = false;
+    /** Audit `profile` flow conservation (requires `profile`). */
+    bool profile_flow = false;
+
+    harden::DefenseConfig defense;
+    const profile::EdgeProfile* profile = nullptr;
+
+    /** Sites exempt from coverage requirements (beyond asm/boot). */
+    std::vector<ir::SiteId> allowed_sites;
+    /** Functions (by name) exempt from coverage requirements. */
+    std::vector<std::string> allowed_funcs;
+
+    /**
+     * Entry points invoked from outside the module (their invocation
+     * counts may exceed their incoming profiled edges). Empty = the
+     * conventional entry names: kernel_init, sys_dispatch, main.
+     */
+    std::vector<std::string> roots;
+};
+
+/** Result of one suite run. */
+struct CheckReport
+{
+    std::vector<Diagnostic> diags;
+
+    size_t errors() const { return countSeverity(diags, Severity::kError); }
+    size_t warnings() const
+    {
+        return countSeverity(diags, Severity::kWarning);
+    }
+    size_t notes() const { return countSeverity(diags, Severity::kNote); }
+
+    /** True if nothing at or above `fail_on` was found. */
+    bool
+    ok(Severity fail_on = Severity::kError) const
+    {
+        for (const Diagnostic& d : diags)
+            if (d.severity >= fail_on)
+                return false;
+        return true;
+    }
+};
+
+/**
+ * Run the selected checker groups over `module`. Analyses are cached
+ * in `am` when provided (it must wrap the same module); otherwise a
+ * private manager is used.
+ */
+CheckReport runChecks(const ir::Module& module, const CheckOptions& opts,
+                      AnalysisManager* am = nullptr);
+
+} // namespace pibe::check
+
+#endif // PIBE_CHECK_CHECKS_H_

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Bit-vector dataflow over PIR CFGs.
+ *
+ * One generic worklist solver (forward/backward direction x union/
+ * intersect meet, gen/kill transfer functions) instantiated four ways:
+ *
+ *  - Liveness        : backward/union over registers;
+ *  - FrameLiveness   : backward/union over frame slots;
+ *  - ReachingDefs    : forward/union over definition sites;
+ *  - DefiniteAssignment : forward/intersect over registers.
+ *
+ * All block-level results are computed eagerly at construction (PIR
+ * functions are small); instruction-granularity views are derived by
+ * replaying one block from its boundary fact.
+ */
+#ifndef PIBE_CHECK_DATAFLOW_H_
+#define PIBE_CHECK_DATAFLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "check/cfg.h"
+#include "ir/module.h"
+
+namespace pibe::check {
+
+/** Fixed-width bit set; the lattice element of every solver below. */
+class BitVector
+{
+  public:
+    BitVector() = default;
+    explicit BitVector(size_t bits, bool ones = false)
+        : bits_(bits), words_(wordCount(bits), ones ? ~uint64_t{0} : 0)
+    {
+        trim();
+    }
+
+    size_t size() const { return bits_; }
+
+    void
+    set(size_t i)
+    {
+        bits(i) |= mask(i);
+    }
+    void
+    clear(size_t i)
+    {
+        bits(i) &= ~mask(i);
+    }
+    bool
+    test(size_t i) const
+    {
+        return (words_[i >> 6] & mask(i)) != 0;
+    }
+
+    /** this |= other. Returns true if any bit changed. */
+    bool
+    unionWith(const BitVector& other)
+    {
+        bool changed = false;
+        for (size_t w = 0; w < words_.size(); ++w) {
+            uint64_t next = words_[w] | other.words_[w];
+            changed |= next != words_[w];
+            words_[w] = next;
+        }
+        return changed;
+    }
+
+    /** this &= other. Returns true if any bit changed. */
+    bool
+    intersectWith(const BitVector& other)
+    {
+        bool changed = false;
+        for (size_t w = 0; w < words_.size(); ++w) {
+            uint64_t next = words_[w] & other.words_[w];
+            changed |= next != words_[w];
+            words_[w] = next;
+        }
+        return changed;
+    }
+
+    /** this = (this & ~kill) | gen — the gen/kill transfer step. */
+    void
+    transfer(const BitVector& gen, const BitVector& kill)
+    {
+        for (size_t w = 0; w < words_.size(); ++w)
+            words_[w] = (words_[w] & ~kill.words_[w]) | gen.words_[w];
+    }
+
+    bool
+    operator==(const BitVector& other) const
+    {
+        return bits_ == other.bits_ && words_ == other.words_;
+    }
+
+    size_t
+    count() const
+    {
+        size_t n = 0;
+        for (uint64_t w : words_)
+            n += static_cast<size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+  private:
+    static size_t wordCount(size_t bits) { return (bits + 63) / 64; }
+    static uint64_t mask(size_t i) { return uint64_t{1} << (i & 63); }
+    uint64_t&
+    bits(size_t i)
+    {
+        PIBE_ASSERT(i < bits_, "BitVector index ", i, " out of range");
+        return words_[i >> 6];
+    }
+
+    /** Zero the unused tail bits so operator== stays meaningful. */
+    void
+    trim()
+    {
+        if (bits_ % 64 != 0 && !words_.empty())
+            words_.back() &= (uint64_t{1} << (bits_ % 64)) - 1;
+    }
+
+    size_t bits_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+/** Solver configuration. */
+enum class Direction : uint8_t { kForward, kBackward };
+enum class Meet : uint8_t { kUnion, kIntersect };
+
+/** Per-block gen/kill transfer function. */
+struct GenKill
+{
+    BitVector gen;
+    BitVector kill;
+};
+
+/** Block-level fixpoint of one dataflow problem. */
+struct DataflowResult
+{
+    /** Fact at block entry (forward) resp. block exit (backward). */
+    std::vector<BitVector> in;
+    /** Fact at block exit (forward) resp. block entry (backward). */
+    std::vector<BitVector> out;
+    /** Worklist passes until the fixpoint (for tests/telemetry). */
+    size_t iterations = 0;
+};
+
+/**
+ * Run the iterative worklist solver.
+ *
+ * `boundary` seeds the entry block (forward) or every exit block
+ * (backward); unreachable blocks keep the lattice identity (empty for
+ * union, full for intersect). `transfer` must have one entry per
+ * block, each sized to `universe` bits.
+ */
+DataflowResult solveDataflow(const Cfg& cfg, Direction dir, Meet meet,
+                             size_t universe,
+                             const std::vector<GenKill>& transfer,
+                             const BitVector& boundary);
+
+// --- Register operand queries (shared by analyses and checkers) -----
+
+/** Register defined by `inst`, or kNoReg. */
+ir::Reg instrDef(const ir::Instruction& inst);
+
+/** Append every register `inst` reads to `uses`. */
+void appendUses(const ir::Instruction& inst, std::vector<ir::Reg>& uses);
+
+// --- Concrete analyses ---------------------------------------------
+
+/** Backward/union liveness of virtual registers. */
+class Liveness
+{
+  public:
+    Liveness(const ir::Function& func, const Cfg& cfg);
+
+    const BitVector& liveIn(ir::BlockId b) const { return result_.out[b]; }
+    const BitVector& liveOut(ir::BlockId b) const { return result_.in[b]; }
+
+    /**
+     * Live-out fact after each instruction of `b` (index-aligned with
+     * the block), derived by replaying the block backward.
+     */
+    std::vector<BitVector> perInstLiveOut(ir::BlockId b) const;
+
+    size_t iterations() const { return result_.iterations; }
+
+  private:
+    const ir::Function& func_;
+    DataflowResult result_;
+};
+
+/** Backward/union liveness of frame slots (kFrameLoad/kFrameStore). */
+class FrameLiveness
+{
+  public:
+    FrameLiveness(const ir::Function& func, const Cfg& cfg);
+
+    const BitVector& liveOut(ir::BlockId b) const { return result_.in[b]; }
+
+    /** Live-out fact after each instruction of `b`. */
+    std::vector<BitVector> perInstLiveOut(ir::BlockId b) const;
+
+  private:
+    const ir::Function& func_;
+    DataflowResult result_;
+};
+
+/** Forward/union reaching definitions. */
+class ReachingDefs
+{
+  public:
+    /** One definition site: a parameter or an instruction def. */
+    struct Def
+    {
+        ir::Reg reg = ir::kNoReg;
+        bool is_param = false;
+        ir::BlockId block = 0; ///< Meaningless for params.
+        uint32_t index = 0;    ///< Instruction index; param number.
+    };
+
+    ReachingDefs(const ir::Function& func, const Cfg& cfg);
+
+    const std::vector<Def>& defs() const { return defs_; }
+
+    /** Defs reaching the *entry* of block `b`. */
+    const BitVector& reachingIn(ir::BlockId b) const
+    {
+        return result_.in[b];
+    }
+
+    /**
+     * Ids of defs of `reg` that reach instruction `index` of block `b`
+     * (before the instruction executes).
+     */
+    std::vector<size_t> defsOfRegAt(ir::BlockId b, uint32_t index,
+                                    ir::Reg reg) const;
+
+  private:
+    const ir::Function& func_;
+    std::vector<Def> defs_;
+    /** Def ids grouped by register (kill-set construction). */
+    std::vector<std::vector<size_t>> defs_by_reg_;
+    DataflowResult result_;
+};
+
+/** Forward/intersect definite assignment of registers. */
+class DefiniteAssignment
+{
+  public:
+    DefiniteAssignment(const ir::Function& func, const Cfg& cfg);
+
+    /**
+     * Registers definitely assigned on *every* path reaching
+     * instruction `index` of block `b` (parameters included).
+     */
+    BitVector assignedBefore(ir::BlockId b, uint32_t index) const;
+
+  private:
+    const ir::Function& func_;
+    DataflowResult result_;
+};
+
+} // namespace pibe::check
+
+#endif // PIBE_CHECK_DATAFLOW_H_

@@ -1,0 +1,71 @@
+#include "check/dominators.h"
+
+namespace pibe::check {
+
+DomTree::DomTree(const Cfg& cfg) : cfg_(cfg)
+{
+    const size_t n = cfg.numBlocks();
+    idom_.assign(n, kNoIdom);
+    children_.resize(n);
+    depth_.assign(n, SIZE_MAX);
+
+    const std::vector<ir::BlockId>& rpo = cfg.reversePostOrder();
+    if (rpo.empty())
+        return;
+    const ir::BlockId entry = rpo.front();
+    idom_[entry] = entry;
+
+    // Two-finger intersection over RPO numbers (CHK Figure 3).
+    auto intersect = [&](ir::BlockId a, ir::BlockId b) {
+        while (a != b) {
+            while (cfg_.rpoIndex(a) > cfg_.rpoIndex(b))
+                a = idom_[a];
+            while (cfg_.rpoIndex(b) > cfg_.rpoIndex(a))
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 1; i < rpo.size(); ++i) {
+            const ir::BlockId b = rpo[i];
+            ir::BlockId new_idom = kNoIdom;
+            for (ir::BlockId p : cfg_.preds(b)) {
+                if (idom_[p] == kNoIdom)
+                    continue; // unprocessed or unreachable pred
+                new_idom = (new_idom == kNoIdom)
+                               ? p
+                               : intersect(p, new_idom);
+            }
+            if (new_idom != kNoIdom && idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    for (ir::BlockId b : rpo) {
+        if (b != entry && idom_[b] != kNoIdom)
+            children_[idom_[b]].push_back(b);
+    }
+    depth_[entry] = 0;
+    for (ir::BlockId b : rpo) {
+        if (b != entry && idom_[b] != kNoIdom)
+            depth_[b] = depth_[idom_[b]] + 1;
+    }
+}
+
+bool
+DomTree::dominates(ir::BlockId a, ir::BlockId b) const
+{
+    if (idom_[a] == kNoIdom || idom_[b] == kNoIdom)
+        return false;
+    // Walk b up the tree until we reach a's depth, then compare.
+    while (depth_[b] > depth_[a])
+        b = idom_[b];
+    return a == b;
+}
+
+} // namespace pibe::check

@@ -26,6 +26,8 @@ class FunctionVerifier
     }
 
   private:
+    std::unordered_set<SiteId> func_sites_;
+
     template <typename... Args>
     void
     problem(BlockId b, size_t idx, Args&&... args)
@@ -67,6 +69,19 @@ class FunctionVerifier
             }
             checkInst(b, i, inst);
         }
+    }
+
+    void
+    checkSite(BlockId b, size_t i, const Instruction& inst,
+              const char* what)
+    {
+        if (inst.site_id == kNoSite) {
+            problem(b, i, what, " without site id");
+            return;
+        }
+        if (!func_sites_.insert(inst.site_id).second)
+            problem(b, i, "duplicate site id ", inst.site_id,
+                    " within function");
     }
 
     void
@@ -128,8 +143,7 @@ class FunctionVerifier
             }
             for (Reg r : inst.args)
                 checkReg(b, i, r, "arg");
-            if (inst.site_id == kNoSite)
-                problem(b, i, "call without site id");
+            checkSite(b, i, inst, "call");
             break;
           }
           case Opcode::kICall:
@@ -137,14 +151,12 @@ class FunctionVerifier
             checkReg(b, i, inst.a, "target");
             for (Reg r : inst.args)
                 checkReg(b, i, r, "arg");
-            if (inst.site_id == kNoSite)
-                problem(b, i, "icall without site id");
+            checkSite(b, i, inst, "icall");
             break;
           case Opcode::kRet:
             if (inst.a != kNoReg)
                 checkReg(b, i, inst.a, "value");
-            if (inst.site_id == kNoSite)
-                problem(b, i, "ret without site id");
+            checkSite(b, i, inst, "ret");
             break;
           case Opcode::kBr:
             checkTarget(b, i, inst.t0);
@@ -154,14 +166,20 @@ class FunctionVerifier
             checkTarget(b, i, inst.t0);
             checkTarget(b, i, inst.t1);
             break;
-          case Opcode::kSwitch:
+          case Opcode::kSwitch: {
             checkReg(b, i, inst.a, "value");
             checkTarget(b, i, inst.t0);
             if (inst.case_values.size() != inst.case_targets.size())
                 problem(b, i, "switch case arity mismatch");
             for (BlockId t : inst.case_targets)
                 checkTarget(b, i, t);
+            std::unordered_set<int64_t> cases;
+            for (int64_t v : inst.case_values) {
+                if (!cases.insert(v).second)
+                    problem(b, i, "duplicate switch case value ", v);
+            }
             break;
+          }
           case Opcode::kSink:
             checkReg(b, i, inst.a, "value");
             break;
@@ -182,13 +200,11 @@ verifyFunction(const Module& module, const Function& func)
 }
 
 std::vector<std::string>
-verifyModule(const Module& module)
+verifyModuleSiteIds(const Module& module)
 {
     std::vector<std::string> problems;
     std::unordered_set<SiteId> seen_sites;
     for (const Function& f : module.functions()) {
-        auto p = verifyFunction(module, f);
-        problems.insert(problems.end(), p.begin(), p.end());
         for (const auto& bb : f.blocks) {
             for (const auto& inst : bb.insts) {
                 if (inst.site_id == kNoSite)
@@ -205,6 +221,30 @@ verifyModule(const Module& module)
             }
         }
     }
+    return problems;
+}
+
+std::vector<std::string>
+verifyModule(const Module& module)
+{
+    std::vector<std::string> problems;
+    for (FuncId id = 0; id < module.numFunctions(); ++id) {
+        const Function& f = module.func(id);
+        if (f.id != id) {
+            problems.push_back(f.name + ": function id " +
+                               std::to_string(f.id) +
+                               " does not match its table index " +
+                               std::to_string(id));
+        }
+        if (module.findFunction(f.name) != id) {
+            problems.push_back(f.name +
+                               ": by-name lookup does not round-trip");
+        }
+        auto p = verifyFunction(module, f);
+        problems.insert(problems.end(), p.begin(), p.end());
+    }
+    auto sites = verifyModuleSiteIds(module);
+    problems.insert(problems.end(), sites.begin(), sites.end());
     return problems;
 }
 

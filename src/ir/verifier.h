@@ -29,12 +29,28 @@ namespace pibe::ir {
  *    parameter count;
  *  - frame accesses are within frame_size; global accesses name valid
  *    globals;
- *  - every call and return carries a site id unique within the module.
+ *  - every call and return carries a site id, unique within the
+ *    function (module-wide uniqueness is verifyModuleSiteIds);
+ *  - switch case values are distinct (a duplicate case is ambiguous
+ *    for jump-table lowering).
  */
 std::vector<std::string> verifyFunction(const Module& module,
                                         const Function& func);
 
-/** Verify an entire module; returns all problems found. */
+/**
+ * Module-level site-id invariants: every site id is below
+ * Module::siteIdBound() and no two instructions share one. Split out
+ * so callers that already ran verifyFunction per function (e.g. the
+ * checker suite) can add the cross-function checks without re-walking.
+ */
+std::vector<std::string> verifyModuleSiteIds(const Module& module);
+
+/**
+ * Verify an entire module; returns all problems found. Runs
+ * verifyFunction on every function, verifyModuleSiteIds, and checks
+ * that the function table is self-consistent (ids match indices and
+ * the by-name index round-trips).
+ */
 std::vector<std::string> verifyModule(const Module& module);
 
 /** Verify a module and PIBE_FATAL with the first problem, if any. */

@@ -1,9 +1,50 @@
 #include "pibe/pipeline.h"
 
 #include "analysis/layout.h"
+#include "check/sandwich.h"
 #include "ir/verifier.h"
+#include "opt/cleanup.h"
 
 namespace pibe::core {
+
+namespace {
+
+/**
+ * One sandwich stage: audit `image` after `pass` and die if the pass
+ * regressed the module. Structural (verify.*) errors are always fatal
+ * — they were before this suite existed, via verifyOrDie — while
+ * lint/coverage findings only abort when a pass *introduced* them, so
+ * modules that enter the pipeline with pre-existing lint findings
+ * still build.
+ */
+void
+auditStage(check::PassSandwich& sandwich, const std::string& pass,
+           const ir::Module& image, const check::CheckOptions& opts,
+           BuildReport& rep)
+{
+    const check::StageResult& stage =
+        sandwich.afterPass(pass, image, opts);
+    rep.sandwich.insert(rep.sandwich.end(), stage.fresh.begin(),
+                        stage.fresh.end());
+    for (const check::Diagnostic& d : stage.fresh) {
+        if (d.severity == check::Severity::kError &&
+            d.check_id.rfind("verify.", 0) == 0) {
+            PIBE_FATAL("pass sandwich: structural verification failed ",
+                       "at stage '", pass, "': ", d.render());
+        }
+    }
+    if (stage.regressed()) {
+        const check::Diagnostic* first = stage.firstFreshError();
+        PIBE_FATAL("pass sandwich: pass '", pass, "' introduced ",
+                   stage.regressed_checks.size(),
+                   " regressed check(s), first: ",
+                   first ? first->render()
+                         : "(error counts rose without a fresh "
+                           "location; likely a duplicated finding)");
+    }
+}
+
+} // namespace
 
 ir::Module
 buildImage(const ir::Module& linked, const profile::EdgeProfile& profile,
@@ -17,12 +58,32 @@ buildImage(const ir::Module& linked, const profile::EdgeProfile& profile,
 
     rep.baseline_image_size = analysis::CodeLayout(linked).imageSize();
 
+    check::PassSandwich sandwich;
+    auto audit = [&](const std::string& pass, bool coverage,
+                     bool profile_flow) {
+        if (!opt.sandwich)
+            return;
+        check::CheckOptions copts;
+        copts.coverage = coverage;
+        copts.defense = defenses;
+        // Flow conservation only holds for the profile as collected;
+        // the inliners inherit edge weights into cloned sites without
+        // subtracting them from the originals, so the invariants are
+        // checked once, against the unmodified pipeline input.
+        copts.profile_flow = profile_flow;
+        copts.profile = &profile;
+        auditStage(sandwich, pass, image, copts, rep);
+    };
+
+    audit("input", /*coverage=*/false, /*profile_flow=*/true);
+
     // Promotion first: it turns hot indirect edges into direct ones,
     // creating inlining candidates (§5.3).
     if (opt.enable_icp) {
         opt::IcpConfig cfg;
         cfg.budget = opt.icp_budget;
         rep.icp = opt::runIcp(image, working, cfg);
+        audit("icp", false, false);
     }
 
     switch (opt.inliner) {
@@ -34,23 +95,33 @@ buildImage(const ir::Module& linked, const profile::EdgeProfile& profile,
         cfg.rule2_caller_threshold = opt.rule2_caller_threshold;
         cfg.rule3_callee_threshold = opt.rule3_callee_threshold;
         rep.inlining = opt::runPibeInliner(image, working, cfg);
+        audit("inline", false, false);
         break;
       }
       case InlinerKind::kDefaultLlvm: {
         opt::DefaultInlinerConfig cfg;
         cfg.budget = opt.inline_budget;
         rep.inlining = opt::runDefaultInliner(image, working, cfg);
+        audit("inline", false, false);
         break;
       }
       case InlinerKind::kNone:
         break;
     }
 
+    if (opt.module_cleanup) {
+        opt::cleanupModule(image);
+        audit("cleanup", false, false);
+    }
+
     rep.coverage = harden::applyDefenses(image, defenses);
+    audit("harden", /*coverage=*/true, /*profile_flow=*/false);
+
     rep.image_size = analysis::CodeLayout(image).imageSize();
     rep.final_profile = std::move(working);
 
-    ir::verifyOrDie(image, "buildImage(" + defenses.name() + ")");
+    if (!opt.sandwich)
+        ir::verifyOrDie(image, "buildImage(" + defenses.name() + ")");
     return image;
 }
 

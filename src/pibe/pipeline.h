@@ -16,6 +16,7 @@
 #ifndef PIBE_PIBE_PIPELINE_H_
 #define PIBE_PIBE_PIPELINE_H_
 
+#include "check/diagnostic.h"
 #include "harden/harden.h"
 #include "ir/module.h"
 #include "opt/icp.h"
@@ -48,6 +49,19 @@ struct OptConfig
     int64_t rule2_caller_threshold = 12000;
     /** Rule 3 callee-complexity threshold. */
     int64_t rule3_callee_threshold = 3000;
+
+    /** Run the scalar/CFG cleanup pass after inlining. Off by default
+     *  so the evaluation's golden image statistics stay comparable. */
+    bool module_cleanup = false;
+
+    /**
+     * Pass-sandwich mode: run the `src/check` audit suite on the
+     * pipeline input and again after every pass, record fresh findings
+     * in BuildReport::sandwich, and abort the build if a pass
+     * *introduces* error-severity findings (see check::PassSandwich).
+     * The input module's own pre-existing lint findings never abort.
+     */
+    bool sandwich = true;
 
     /** Convenience: no optimization at all (the LTO baseline). */
     static OptConfig
@@ -93,6 +107,9 @@ struct BuildReport
     /** The profile as transformed by the passes (promoted weights
      *  moved to direct edges, inherited sites added). */
     profile::EdgeProfile final_profile;
+    /** Fresh audit findings per pipeline stage (sandwich mode only),
+     *  each Diagnostic::pass naming the stage that introduced it. */
+    std::vector<check::Diagnostic> sandwich;
 };
 
 /**

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Static-analysis gate: run `pibe check` over every shipped example
+# module and over freshly built production kernel images (one per
+# defense configuration), failing on any error-severity finding.
+#
+# Usage: tools/check_examples.sh [path/to/pibe] [--drivers N] [--iters N]
+set -euo pipefail
+
+PIBE=${1:-build/tools/pibe}
+shift $(( $# > 0 ? 1 : 0 )) || true
+DRIVERS=64
+ITERS=5
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --drivers) DRIVERS=$2; shift 2 ;;
+        --iters)   ITERS=$2;   shift 2 ;;
+        *) echo "unknown option: $1" >&2; exit 2 ;;
+    esac
+done
+
+if [ ! -x "$PIBE" ]; then
+    echo "error: pibe binary not found at '$PIBE'" >&2
+    exit 2
+fi
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== checking shipped example modules"
+for f in "$ROOT"/examples/pir/*.pir; do
+    echo "-- $f"
+    "$PIBE" check -m "$f" --fail-on=error
+done
+
+echo "== building kernel (drivers=$DRIVERS) and profile (iters=$ITERS)"
+"$PIBE" kernel -o "$WORK/kernel.pir" --drivers "$DRIVERS"
+"$PIBE" profile -m "$WORK/kernel.pir" -o "$WORK/prof.txt" --iters "$ITERS"
+
+echo "-- input kernel: verify + lint + profile flow conservation"
+"$PIBE" check -m "$WORK/kernel.pir" -p "$WORK/prof.txt" --fail-on=error
+
+for defense in retpolines lvi all; do
+    echo "== production image: --defense $defense"
+    "$PIBE" optimize -m "$WORK/kernel.pir" -p "$WORK/prof.txt" \
+        -o "$WORK/image-$defense.pir" --defense "$defense"
+    "$PIBE" check -m "$WORK/image-$defense.pir" \
+        --defense "$defense" --fail-on=error
+done
+
+echo "== all checks passed"

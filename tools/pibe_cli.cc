@@ -16,6 +16,10 @@
  *                 [--jobs N] [--cache-dir DIR] [--decode-stats]
  *   pibe attack   -m image.pir [--kind spectre-v2|ret2spec|lvi]
  *   pibe stats    -m file.pir
+ *   pibe check    -m file.pir [-p prof.txt] [--defense NAME]
+ *                 [--checks verify,lint,coverage,profile] [--json]
+ *                 [--fail-on warn|error] [--roots a,b,c]
+ *                 [--allow-func f,g] [--allow-site 1,2]
  *   pibe selftest            (end-to-end smoke of all subcommands)
  */
 #include <chrono>
@@ -27,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "check/checks.h"
 #include "harden/harden.h"
 #include "ir/parser.h"
 #include "pibe/engine.h"
@@ -60,10 +65,15 @@ class Args
     std::string
     get(const std::string& flag, const std::string& fallback = "")
     {
-        for (size_t i = 0; i + 1 < args_.size(); ++i) {
-            if (args_[i] == flag) {
+        const std::string eq = flag + "=";
+        for (size_t i = 0; i < args_.size(); ++i) {
+            if (args_[i] == flag && i + 1 < args_.size()) {
                 used_[i] = used_[i + 1] = true;
                 return args_[i + 1];
+            }
+            if (args_[i].rfind(eq, 0) == 0) {
+                used_[i] = true;
+                return args_[i].substr(eq.size());
             }
         }
         return fallback;
@@ -106,12 +116,36 @@ writeFile(const std::string& path, const std::string& contents)
     out << contents;
 }
 
+/**
+ * The one verification choke point for module input: every subcommand
+ * that consumes PIR text funnels through here (or through check::
+ * runChecks, which subsumes the verifier).
+ */
+ir::Module
+parseAndVerify(const std::string& text, const std::string& context)
+{
+    ir::Module m = ir::parseModule(text);
+    ir::verifyOrDie(m, context);
+    return m;
+}
+
 ir::Module
 loadModule(const std::string& path)
 {
-    ir::Module m = ir::parseModule(readFile(path));
-    ir::verifyOrDie(m, path);
-    return m;
+    return parseAndVerify(readFile(path), path);
+}
+
+/** Split a comma-separated list; empty input yields an empty list. */
+std::vector<std::string>
+splitList(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream is(s);
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
 }
 
 harden::DefenseConfig
@@ -239,8 +273,7 @@ cmdMeasure(Args& args)
 {
     const std::string image_path = args.get("-m", "image.pir");
     const std::string image_text = readFile(image_path);
-    ir::Module m = ir::parseModule(image_text);
-    ir::verifyOrDie(m, image_path);
+    ir::Module m = parseAndVerify(image_text, image_path);
     kernel::KernelInfo info = kernel::kernelInfoFromModule(m);
     std::string test = args.get("--test", "all");
     std::string baseline_path = args.get("--baseline");
@@ -275,9 +308,8 @@ cmdMeasure(Args& args)
     std::shared_ptr<const uarch::DecodedModule> base_decoded;
     if (!baseline_path.empty()) {
         base_text = readFile(baseline_path);
-        base_mod =
-            std::make_unique<ir::Module>(ir::parseModule(base_text));
-        ir::verifyOrDie(*base_mod, baseline_path);
+        base_mod = std::make_unique<ir::Module>(
+            parseAndVerify(base_text, baseline_path));
         base_info = kernel::kernelInfoFromModule(*base_mod);
         base_decoded =
             std::make_shared<const uarch::DecodedModule>(*base_mod);
@@ -464,6 +496,83 @@ cmdStats(Args& args)
 }
 
 int
+cmdCheck(Args& args)
+{
+    const std::string path = args.get("-m", "kernel.pir");
+    // Deliberately no parseAndVerify: the suite reports verifier
+    // findings as diagnostics instead of dying on the first one.
+    ir::Module m = ir::parseModule(readFile(path));
+
+    check::CheckOptions opts;
+    profile::EdgeProfile prof;
+    const std::string prof_path = args.get("-p");
+    if (!prof_path.empty()) {
+        prof = profile::liftProfile(m, readFile(prof_path));
+        opts.profile = &prof;
+        opts.profile_flow = true;
+    }
+    const std::string defense_name = args.get("--defense");
+    if (!defense_name.empty()) {
+        opts.defense = defenseByName(defense_name);
+        opts.coverage = true;
+    }
+    const std::string checks = args.get("--checks");
+    if (!checks.empty()) {
+        opts.verify = opts.lint = opts.coverage = opts.profile_flow =
+            false;
+        for (const std::string& c : splitList(checks)) {
+            if (c == "verify")
+                opts.verify = true;
+            else if (c == "lint")
+                opts.lint = true;
+            else if (c == "coverage")
+                opts.coverage = true;
+            else if (c == "profile")
+                opts.profile_flow = true;
+            else
+                PIBE_FATAL("unknown check group '", c,
+                           "' (expected verify, lint, coverage, "
+                           "profile)");
+        }
+        if (opts.profile_flow && !opts.profile)
+            PIBE_FATAL("--checks profile requires -p <profile>");
+        if (opts.coverage && defense_name.empty())
+            PIBE_FATAL("--checks coverage requires --defense <name>");
+    }
+    opts.roots = splitList(args.get("--roots"));
+    opts.allowed_funcs = splitList(args.get("--allow-func"));
+    for (const std::string& s : splitList(args.get("--allow-site")))
+        opts.allowed_sites.push_back(
+            static_cast<ir::SiteId>(std::stoul(s)));
+
+    const std::string fail_on = args.get("--fail-on", "error");
+    check::Severity threshold;
+    if (fail_on == "warn")
+        threshold = check::Severity::kWarning;
+    else if (fail_on == "error")
+        threshold = check::Severity::kError;
+    else
+        PIBE_FATAL("unknown --fail-on '", fail_on,
+                   "' (expected warn or error)");
+
+    check::CheckReport report = check::runChecks(m, opts);
+    if (args.has("--json")) {
+        std::printf("{\"module\":\"%s\",\"errors\":%zu,"
+                    "\"warnings\":%zu,\"notes\":%zu,"
+                    "\"diagnostics\":%s}\n",
+                    path.c_str(), report.errors(), report.warnings(),
+                    report.notes(),
+                    check::renderJson(report.diags).c_str());
+    } else {
+        std::printf("%s", check::renderText(report.diags).c_str());
+        std::printf("%s: %zu error(s), %zu warning(s), %zu note(s)\n",
+                    path.c_str(), report.errors(), report.warnings(),
+                    report.notes());
+    }
+    return report.ok(threshold) ? 0 : 1;
+}
+
+int
 cmdSelftest()
 {
     // The full workflow in a temp directory.
@@ -503,6 +612,25 @@ cmdSelftest()
                    ")");
     if (report.inlining.inlined_sites == 0)
         PIBE_FATAL("selftest: no inlining happened");
+
+    // Audit the artifacts the workflow just produced: flow
+    // conservation of the fresh profile against the input kernel, and
+    // hardening coverage of the shipped image.
+    check::CheckOptions popts;
+    popts.profile_flow = true;
+    popts.profile = &lifted;
+    check::CheckReport pr = check::runChecks(m, popts);
+    if (pr.errors() != 0)
+        PIBE_FATAL("selftest: profile audit found ", pr.errors(),
+                   " error(s): ", pr.diags.front().render());
+    check::CheckOptions copts;
+    copts.coverage = true;
+    copts.defense = harden::DefenseConfig::all();
+    check::CheckReport cr = check::runChecks(reloaded, copts);
+    if (cr.errors() != 0)
+        PIBE_FATAL("selftest: image audit found ", cr.errors(),
+                   " error(s): ", cr.diags.front().render());
+
     std::printf("selftest OK (%s)\n", dir.c_str());
     return 0;
 }
@@ -514,7 +642,7 @@ run(int argc, char** argv)
         std::fprintf(stderr,
                      "usage: pibe "
                      "<kernel|profile|optimize|measure|attack|stats|"
-                     "selftest> [options]\n");
+                     "check|selftest> [options]\n");
         return 2;
     }
     const std::string cmd = argv[1];
@@ -531,6 +659,8 @@ run(int argc, char** argv)
         return cmdAttack(args);
     if (cmd == "stats")
         return cmdStats(args);
+    if (cmd == "check")
+        return cmdCheck(args);
     if (cmd == "selftest")
         return cmdSelftest();
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
