@@ -656,4 +656,27 @@ runChecks(const ir::Module& module, const CheckOptions& opts,
     return Runner(module, opts, local).run();
 }
 
+std::optional<Severity>
+severityFromName(std::string_view name)
+{
+    if (name == "note")
+        return Severity::kNote;
+    if (name == "warn" || name == "warning")
+        return Severity::kWarning;
+    if (name == "error")
+        return Severity::kError;
+    return std::nullopt;
+}
+
+CheckOutcome
+runChecksWithPolicy(const ir::Module& module, const CheckOptions& opts,
+                    Severity fail_on, AnalysisManager* am)
+{
+    CheckOutcome out;
+    out.report = runChecks(module, opts, am);
+    out.fail_on = fail_on;
+    out.passed = out.report.ok(fail_on);
+    return out;
+}
+
 } // namespace pibe::check

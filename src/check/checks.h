@@ -31,7 +31,9 @@
 #ifndef PIBE_CHECK_CHECKS_H_
 #define PIBE_CHECK_CHECKS_H_
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "check/analysis_manager.h"
@@ -97,6 +99,31 @@ struct CheckReport
  */
 CheckReport runChecks(const ir::Module& module, const CheckOptions& opts,
                       AnalysisManager* am = nullptr);
+
+/** Report plus the pass/fail verdict of one policy-gated run. */
+struct CheckOutcome
+{
+    CheckReport report;
+    Severity fail_on = Severity::kError;
+    /** report.ok(fail_on): nothing at or above the threshold. */
+    bool passed = true;
+};
+
+/**
+ * Parse a `--fail-on` severity name ("note", "warn"/"warning",
+ * "error"). Returns std::nullopt for anything else.
+ */
+std::optional<Severity> severityFromName(std::string_view name);
+
+/**
+ * runChecks() plus the pass/fail policy. This is the single gate
+ * shared by the `pibe check` CLI and the in-process serve path, so
+ * a `fail_on` threshold means the same exit verdict everywhere.
+ */
+CheckOutcome runChecksWithPolicy(const ir::Module& module,
+                                 const CheckOptions& opts,
+                                 Severity fail_on,
+                                 AnalysisManager* am = nullptr);
 
 } // namespace pibe::check
 

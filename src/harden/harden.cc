@@ -67,6 +67,24 @@ DefenseConfig::name() const
     return s;
 }
 
+std::optional<DefenseConfig>
+defenseByName(const std::string& name)
+{
+    if (name == "none")
+        return DefenseConfig::none();
+    if (name == "retpolines")
+        return DefenseConfig::retpolinesOnly();
+    if (name == "ret-retpolines")
+        return DefenseConfig::retRetpolinesOnly();
+    if (name == "lvi")
+        return DefenseConfig::lviOnly();
+    if (name == "all")
+        return DefenseConfig::all();
+    if (name == "jumpswitches")
+        return DefenseConfig::jumpSwitches();
+    return std::nullopt;
+}
+
 ir::FwdScheme
 forwardSchemeFor(const DefenseConfig& config)
 {

@@ -28,6 +28,7 @@
 #define PIBE_HARDEN_HARDEN_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "ir/module.h"
@@ -66,6 +67,14 @@ struct DefenseConfig
     static DefenseConfig all();
     static DefenseConfig jumpSwitches();
 };
+
+/**
+ * Inverse of the canonical configuration names used across the CLI
+ * and the serve control plane: "none", "retpolines", "ret-retpolines",
+ * "lvi", "all", "jumpswitches". Returns std::nullopt for anything
+ * else.
+ */
+std::optional<DefenseConfig> defenseByName(const std::string& name);
 
 /** Scheme selected for forward edges under `config`. */
 ir::FwdScheme forwardSchemeFor(const DefenseConfig& config);

@@ -251,6 +251,77 @@ collectLmbenchProfile(const ir::Module& kernel,
     return merged;
 }
 
+std::string
+kernelTextCached(const kernel::KernelConfig& cfg,
+                 runtime::ArtifactCache* cache)
+{
+    runtime::Digest d;
+    hashKernelConfig(d, cfg);
+    if (cache) {
+        if (std::optional<std::string> text = cache->get(d.hex()))
+            return *text;
+    }
+    kernel::KernelImage k = kernel::buildKernel(cfg);
+    std::string text = ir::printModule(k.module);
+    if (cache)
+        cache->put(d.hex(), text);
+    return text;
+}
+
+std::string
+profileTextCached(const std::string& kernel_text,
+                  const ir::Module& kernel,
+                  const kernel::KernelInfo& info, uint32_t base_iters,
+                  runtime::ArtifactCache* cache)
+{
+    runtime::Digest d;
+    d.add("pibe-profile-v1").add(kernel_text).add(base_iters);
+    if (cache) {
+        if (std::optional<std::string> text = cache->get(d.hex()))
+            return *text;
+    }
+    profile::EdgeProfile p =
+        collectLmbenchProfile(kernel, info, base_iters);
+    std::string text = profile::serializeProfile(kernel, p);
+    if (cache)
+        cache->put(d.hex(), text);
+    return text;
+}
+
+std::string
+imageCacheKey(const std::string& kernel_text,
+              const std::string& profile_text, const OptConfig& opt,
+              const harden::DefenseConfig& defense)
+{
+    runtime::Digest d;
+    d.add("pibe-image-v1").add(kernel_text).add(profile_text);
+    hashOptConfig(d, opt);
+    hashDefenseConfig(d, defense);
+    return d.hex();
+}
+
+std::string
+imageTextCached(const std::string& kernel_text,
+                const ir::Module& kernel,
+                const std::string& profile_text,
+                const profile::EdgeProfile& profile,
+                const OptConfig& opt,
+                const harden::DefenseConfig& defense,
+                runtime::ArtifactCache* cache)
+{
+    const std::string key =
+        imageCacheKey(kernel_text, profile_text, opt, defense);
+    if (cache) {
+        if (std::optional<std::string> text = cache->get(key))
+            return *text;
+    }
+    ir::Module img = buildImage(kernel, profile, opt, defense);
+    std::string text = ir::printModule(img);
+    if (cache)
+        cache->put(key, text);
+    return text;
+}
+
 Measurement
 measureWorkloadCached(const std::string& image_text,
                       std::shared_ptr<const uarch::DecodedModule> decoded,
@@ -291,15 +362,7 @@ runExperiments(const ExperimentPlan& plan, const EngineOptions& opts)
     runtime::ArtifactCache cache;
     if (opts.use_cache && !opts.cache_dir.empty())
         cache.setDiskDir(opts.cache_dir);
-    auto cacheGet =
-        [&](const std::string& key) -> std::optional<std::string> {
-        return opts.use_cache ? cache.get(key) : std::nullopt;
-    };
-    auto cachePut = [&](const std::string& key,
-                        const std::string& value) {
-        if (opts.use_cache)
-            cache.put(key, value);
-    };
+    runtime::ArtifactCache* cachep = opts.use_cache ? &cache : nullptr;
 
     // Shared pipeline state. Each field is written by exactly one job
     // and read only by its dependents (the graph publishes writes).
@@ -346,17 +409,9 @@ runExperiments(const ExperimentPlan& plan, const EngineOptions& opts)
 
     const runtime::JobId kernel_job = graph.add(
         "kernel", [&](const runtime::JobContext&) {
-            runtime::Digest d;
-            hashKernelConfig(d, plan.kernel);
-            std::optional<std::string> text = cacheGet(d.hex());
-            if (!text) {
-                kernel::KernelImage k = kernel::buildKernel(plan.kernel);
-                text = ir::printModule(k.module);
-                cachePut(d.hex(), *text);
-            }
             // Always run from the parsed canonical text so cache hits
             // and misses execute the exact same module.
-            shared.kernel_text = std::move(*text);
+            shared.kernel_text = kernelTextCached(plan.kernel, cachep);
             shared.kernel = std::make_unique<ir::Module>(
                 ir::parseModule(shared.kernel_text));
             shared.info = kernel::kernelInfoFromModule(*shared.kernel);
@@ -365,19 +420,9 @@ runExperiments(const ExperimentPlan& plan, const EngineOptions& opts)
     const runtime::JobId profile_job = graph.add(
         "profile",
         [&](const runtime::JobContext&) {
-            runtime::Digest d;
-            d.add("pibe-profile-v1")
-                .add(shared.kernel_text)
-                .add(plan.profile_base_iters);
-            std::optional<std::string> text = cacheGet(d.hex());
-            if (!text) {
-                profile::EdgeProfile p = collectLmbenchProfile(
-                    *shared.kernel, shared.info,
-                    plan.profile_base_iters);
-                text = profile::serializeProfile(*shared.kernel, p);
-                cachePut(d.hex(), *text);
-            }
-            shared.profile_text = std::move(*text);
+            shared.profile_text = profileTextCached(
+                shared.kernel_text, *shared.kernel, shared.info,
+                plan.profile_base_iters, cachep);
             shared.profile =
                 profile::liftProfile(*shared.kernel,
                                      shared.profile_text);
@@ -390,21 +435,10 @@ runExperiments(const ExperimentPlan& plan, const EngineOptions& opts)
             "image:" + spec.name,
             [&, spec, slot = &images[spec.name]](
                 const runtime::JobContext&) {
-                runtime::Digest d;
-                d.add("pibe-image-v1")
-                    .add(shared.kernel_text)
-                    .add(shared.profile_text);
-                hashOptConfig(d, spec.opt);
-                hashDefenseConfig(d, spec.defense);
-                std::optional<std::string> text = cacheGet(d.hex());
-                if (!text) {
-                    ir::Module img =
-                        buildImage(*shared.kernel, shared.profile,
-                                   spec.opt, spec.defense);
-                    text = ir::printModule(img);
-                    cachePut(d.hex(), *text);
-                }
-                slot->text = std::move(*text);
+                slot->text = imageTextCached(
+                    shared.kernel_text, *shared.kernel,
+                    shared.profile_text, shared.profile, spec.opt,
+                    spec.defense, cachep);
                 slot->module = std::make_unique<ir::Module>(
                     ir::parseModule(slot->text));
                 slot->info =

@@ -112,6 +112,46 @@ struct ExperimentResults
 ExperimentResults runExperiments(const ExperimentPlan& plan,
                                  const EngineOptions& opts = {});
 
+// ---------------------------------------------------------------------
+// Staged entry points. Each pipeline stage is exposed as a cached
+// function over *canonical artifact text* so any caller — the
+// runExperiments() job graph, the CLI, or a long-running `pibe serve`
+// daemon — computes bit-identical artifacts through the same code and
+// the same cache keys. `cache` may be null (no memoization).
+
+/** Canonical kernel module text for `cfg`, memoized in `cache`. */
+std::string kernelTextCached(const kernel::KernelConfig& cfg,
+                             runtime::ArtifactCache* cache);
+
+/**
+ * Canonical serialized LMBench training profile for `kernel` (which
+ * must be the parse of `kernel_text` — the text is the cache key, the
+ * module is the execution input).
+ */
+std::string profileTextCached(const std::string& kernel_text,
+                              const ir::Module& kernel,
+                              const kernel::KernelInfo& info,
+                              uint32_t base_iters,
+                              runtime::ArtifactCache* cache);
+
+/** Cache key of the production image for one (opt, defense) point. */
+std::string imageCacheKey(const std::string& kernel_text,
+                          const std::string& profile_text,
+                          const OptConfig& opt,
+                          const harden::DefenseConfig& defense);
+
+/**
+ * Canonical production-image text for one (opt, defense) point.
+ * `kernel`/`profile` must be the parses of the two texts.
+ */
+std::string imageTextCached(const std::string& kernel_text,
+                            const ir::Module& kernel,
+                            const std::string& profile_text,
+                            const profile::EdgeProfile& profile,
+                            const OptConfig& opt,
+                            const harden::DefenseConfig& defense,
+                            runtime::ArtifactCache* cache);
+
 /**
  * One cached measurement. Key = (canonical image text, decoded-stream
  * format version, workload name, MeasureConfig incl. cost params);

@@ -4,9 +4,14 @@
  *
  * The pool is the execution substrate of the experiment runtime: the
  * JobGraph scheduler feeds it ready jobs, and standalone users (e.g.
- * the CLI's parallel measure path) can submit closures directly.
- * Shutdown is graceful — queued work is drained before workers join —
- * so results are never silently dropped.
+ * the CLI's parallel measure path, the `pibe serve` daemon) can submit
+ * closures directly.
+ *
+ * Shutdown policy is explicit: stop(StopMode::kDrain) finishes every
+ * queued task before joining (results are never silently dropped),
+ * stop(StopMode::kCancel) discards tasks that have not started yet —
+ * their futures report std::future_errc::broken_promise — and joins as
+ * soon as the in-flight tasks finish. The destructor drains.
  */
 #ifndef PIBE_RUNTIME_THREAD_POOL_H_
 #define PIBE_RUNTIME_THREAD_POOL_H_
@@ -29,10 +34,16 @@ namespace pibe::runtime {
 class ThreadPool
 {
   public:
+    /** What to do with queued-but-unstarted tasks on stop(). */
+    enum class StopMode {
+        kDrain,  ///< Run everything already queued, then join.
+        kCancel, ///< Discard the queue (futures break), then join.
+    };
+
     /** Spawn `num_threads` workers (clamped to at least 1). */
     explicit ThreadPool(size_t num_threads);
 
-    /** Graceful shutdown: drains the queue, then joins. */
+    /** Graceful shutdown: equivalent to stop(StopMode::kDrain). */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
@@ -41,7 +52,7 @@ class ThreadPool
     /**
      * Enqueue `fn` and return a future for its result. Exceptions
      * thrown by `fn` propagate through the future.
-     * @pre shutdown() has not been called.
+     * @pre stop()/shutdown() has not been called.
      */
     template <typename Fn>
     auto
@@ -56,16 +67,27 @@ class ThreadPool
     }
 
     /**
-     * Stop accepting work, finish everything already queued, and join
-     * all workers. Idempotent; called by the destructor.
+     * Stop accepting work and join all workers. kDrain finishes the
+     * queue first; kCancel discards it (cancelledTasks() counts the
+     * discards). Idempotent — later calls, including the destructor's
+     * drain, are no-ops regardless of mode.
      */
-    void shutdown();
+    void stop(StopMode mode);
+
+    /** Back-compat alias for stop(StopMode::kDrain). */
+    void shutdown() { stop(StopMode::kDrain); }
 
     /** Number of worker threads. */
     size_t size() const { return threads_.size(); }
 
     /** Total tasks executed so far. */
     uint64_t tasksRun() const;
+
+    /** Tasks discarded by stop(StopMode::kCancel). */
+    uint64_t cancelledTasks() const;
+
+    /** Tasks accepted by submit() so far. */
+    uint64_t tasksSubmitted() const;
 
   private:
     void post(std::function<void()> task);
@@ -76,6 +98,8 @@ class ThreadPool
     std::condition_variable cv_;
     std::deque<std::function<void()>> queue_;
     uint64_t tasks_run_ = 0;
+    uint64_t tasks_submitted_ = 0;
+    uint64_t tasks_cancelled_ = 0;
     bool shutting_down_ = false;
 };
 

@@ -1,0 +1,91 @@
+#include "serve/client.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace pibe::serve {
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_)
+{
+}
+
+Client&
+Client::operator=(Client&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        next_id_ = other.next_id_;
+    }
+    return *this;
+}
+
+bool
+Client::connectUnix(const std::string& path)
+{
+    close();
+    fd_ = serve::connectUnix(path);
+    return fd_ >= 0;
+}
+
+bool
+Client::connectTcp(uint16_t port)
+{
+    close();
+    fd_ = serve::connectTcp("127.0.0.1", port);
+    return fd_ >= 0;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::optional<Json>
+Client::call(const std::string& op, Json params)
+{
+    if (fd_ < 0)
+        return std::nullopt;
+    const uint64_t id = next_id_++;
+    if (!writeMessage(fd_, makeRequest(id, op, std::move(params)))) {
+        close();
+        return std::nullopt;
+    }
+    std::optional<Json> response = readMessage(fd_);
+    if (!response)
+        close();
+    return response;
+}
+
+std::optional<Json>
+Client::callOk(const std::string& op, Json params, std::string* error)
+{
+    std::optional<Json> response = call(op, std::move(params));
+    if (!response) {
+        if (error)
+            *error = "transport failure";
+        return std::nullopt;
+    }
+    if (!(*response)["ok"].asBool(false)) {
+        if (error)
+            *error = (*response)["error"].asString();
+        return std::nullopt;
+    }
+    return (*response)["result"];
+}
+
+} // namespace pibe::serve

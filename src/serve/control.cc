@@ -1,0 +1,72 @@
+#include "serve/control.h"
+
+#include "support/logging.h"
+
+namespace pibe::serve {
+
+void
+ControlPlane::registerKnob(const std::string& name,
+                           const std::string& description, Getter get,
+                           Setter set)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    PIBE_ASSERT(knobs_.find(name) == knobs_.end(),
+                "duplicate control knob '", name, "'");
+    knobs_[name] = Knob{description, std::move(get), std::move(set)};
+}
+
+std::optional<std::string>
+ControlPlane::get(const std::string& name) const
+{
+    Getter getter;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = knobs_.find(name);
+        if (it == knobs_.end())
+            return std::nullopt;
+        getter = it->second.get;
+    }
+    return getter();
+}
+
+std::optional<std::string>
+ControlPlane::set(const std::string& name, const std::string& value)
+{
+    Getter getter;
+    Setter setter;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = knobs_.find(name);
+        if (it == knobs_.end())
+            return "unknown config knob '" + name + "'";
+        getter = it->second.get;
+        setter = it->second.set;
+    }
+    const std::string before = getter();
+    if (std::optional<std::string> err = setter(value))
+        return err;
+    // The spec_ctrl idiom: every accepted runtime transition is
+    // logged so an operator can reconstruct the mitigation state.
+    inform("config: ", name, ": '", before, "' -> '", getter(), "'");
+    return std::nullopt;
+}
+
+Json
+ControlPlane::list() const
+{
+    std::map<std::string, Knob> copy;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        copy = knobs_;
+    }
+    Json out = Json::object();
+    for (const auto& [name, knob] : copy) {
+        Json k = Json::object();
+        k.set("value", knob.get());
+        k.set("description", knob.description);
+        out.set(name, std::move(k));
+    }
+    return out;
+}
+
+} // namespace pibe::serve

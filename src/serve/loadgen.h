@@ -1,0 +1,57 @@
+/**
+ * @file
+ * `pibe loadgen` — concurrent load generator for a serve daemon.
+ *
+ * Replays a deterministic (seeded) schedule of mixed requests —
+ * roughly 70% measure, 20% optimize, 10% check over a small pool of
+ * image variants — from `clients` concurrent connections, twice: pass
+ * "cold" against the daemon's fresh caches, pass "warm" replaying the
+ * identical schedule. Per-pass p50/p99/mean latency and throughput
+ * land in a BENCH_serve.json; warm p50 below cold p50 is the
+ * acceptance signal that the shared cache tier is doing its job.
+ *
+ * Determinism checks ride along for free: every measure response's
+ * bit pattern is recorded per request signature, and a signature that
+ * ever answers with two different bit patterns (across clients or
+ * passes) is counted as a mismatch and fails the run. `verify > 0`
+ * additionally recomputes that many sampled measure results
+ * in-process through the same staged engine entry points the daemon
+ * uses and demands bit-identical agreement.
+ */
+#ifndef PIBE_SERVE_LOADGEN_H_
+#define PIBE_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pibe::serve {
+
+/** CLI flags of `pibe loadgen`. */
+struct LoadgenOptions
+{
+    /** Unix socket of the daemon ("" = use tcp_port). */
+    std::string socket_path = "/tmp/pibe-serve.sock";
+    int tcp_port = -1;
+    /** Requests per pass (two passes are run). */
+    uint32_t requests = 500;
+    /** Concurrent client connections. */
+    uint32_t clients = 8;
+    /** Schedule seed (same seed = same request stream). */
+    uint64_t seed = 1;
+    /** Distinct image variants in the mix (1..4). */
+    uint32_t image_variants = 2;
+    /** Measure results to recompute in-process (0 = off). */
+    uint32_t verify = 0;
+    /** Output report path ("" = no file). */
+    std::string out_path = "BENCH_serve.json";
+};
+
+/**
+ * Run the load. Returns 0 when every request of both passes succeeded
+ * and every determinism check held, 1 otherwise.
+ */
+int runLoadgen(const LoadgenOptions& opts);
+
+} // namespace pibe::serve
+
+#endif // PIBE_SERVE_LOADGEN_H_

@@ -1,0 +1,237 @@
+#include "serve/protocol.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/logging.h"
+
+namespace pibe::serve {
+
+namespace {
+
+/** write(2) all of `data`, retrying on EINTR; MSG_NOSIGNAL so a gone
+ *  peer surfaces as EPIPE instead of killing the process. */
+bool
+sendAll(int fd, const void* data, size_t size)
+{
+    const char* p = static_cast<const char*>(data);
+    while (size > 0) {
+        const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        size -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** read(2) exactly `size` bytes. False on EOF or error. */
+bool
+recvAll(int fd, void* data, size_t size)
+{
+    char* p = static_cast<char*>(data);
+    while (size > 0) {
+        const ssize_t n = ::recv(fd, p, size, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        size -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, std::string_view payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    unsigned char header[4];
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    header[0] = static_cast<unsigned char>(len >> 24);
+    header[1] = static_cast<unsigned char>(len >> 16);
+    header[2] = static_cast<unsigned char>(len >> 8);
+    header[3] = static_cast<unsigned char>(len);
+    return sendAll(fd, header, sizeof(header)) &&
+           sendAll(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string>
+readFrame(int fd)
+{
+    unsigned char header[4];
+    if (!recvAll(fd, header, sizeof(header)))
+        return std::nullopt;
+    const uint32_t len = (static_cast<uint32_t>(header[0]) << 24) |
+                         (static_cast<uint32_t>(header[1]) << 16) |
+                         (static_cast<uint32_t>(header[2]) << 8) |
+                         static_cast<uint32_t>(header[3]);
+    if (len > kMaxFrameBytes)
+        return std::nullopt;
+    std::string payload(len, '\0');
+    if (len > 0 && !recvAll(fd, payload.data(), len))
+        return std::nullopt;
+    return payload;
+}
+
+bool
+writeMessage(int fd, const Json& message)
+{
+    return writeFrame(fd, message.dump());
+}
+
+std::optional<Json>
+readMessage(int fd)
+{
+    std::optional<std::string> frame = readFrame(fd);
+    if (!frame)
+        return std::nullopt;
+    return Json::parse(*frame);
+}
+
+Json
+makeRequest(uint64_t id, const std::string& op, Json params)
+{
+    Json req = Json::object();
+    req.set("id", id);
+    req.set("op", op);
+    req.set("params", std::move(params));
+    return req;
+}
+
+Json
+makeResponse(uint64_t id, Json result)
+{
+    Json resp = Json::object();
+    resp.set("id", id);
+    resp.set("ok", true);
+    resp.set("result", std::move(result));
+    return resp;
+}
+
+Json
+makeErrorResponse(uint64_t id, const std::string& message)
+{
+    Json resp = Json::object();
+    resp.set("id", id);
+    resp.set("ok", false);
+    resp.set("error", message);
+    return resp;
+}
+
+int
+listenUnix(const std::string& path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        warn("serve: unix socket path too long: ", path);
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        warn("serve: socket(AF_UNIX): ", std::strerror(errno));
+        return -1;
+    }
+    ::unlink(path.c_str()); // replace a stale socket file
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 128) != 0) {
+        warn("serve: cannot listen on ", path, ": ",
+             std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+listenTcp(uint16_t port, uint16_t* bound_port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        warn("serve: socket(AF_INET): ", std::strerror(errno));
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 128) != 0) {
+        warn("serve: cannot listen on tcp port ", port, ": ",
+             std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    if (bound_port) {
+        sockaddr_in actual{};
+        socklen_t len = sizeof(actual);
+        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual),
+                          &len) == 0)
+            *bound_port = ntohs(actual.sin_port);
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string& path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        return -1;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTcp(const std::string& host, uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace pibe::serve

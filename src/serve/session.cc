@@ -1,0 +1,49 @@
+#include "serve/session.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/protocol.h"
+
+namespace pibe::serve {
+
+Session::Session(int fd, Handler handler)
+    : fd_(fd), handler_(std::move(handler))
+{
+}
+
+Session::~Session()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+Session::run()
+{
+    for (;;) {
+        std::optional<std::string> frame = readFrame(fd_);
+        if (!frame || closing_.load(std::memory_order_acquire))
+            return;
+        Json response;
+        std::optional<Json> request = Json::parse(*frame);
+        if (!request || !request->isObject()) {
+            response = makeErrorResponse(0, "malformed request JSON");
+        } else {
+            response = handler_(*request);
+        }
+        requests_served_.fetch_add(1, std::memory_order_relaxed);
+        if (!writeMessage(fd_, response))
+            return; // peer gone mid-response
+    }
+}
+
+void
+Session::forceClose()
+{
+    bool expected = false;
+    if (closing_.compare_exchange_strong(expected, true))
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+} // namespace pibe::serve

@@ -11,11 +11,13 @@
 
 #include <atomic>
 #include <bit>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <mutex>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "pibe/engine.h"
@@ -81,6 +83,72 @@ TEST(RuntimeThreadPool, ExceptionPropagatesThroughFuture)
     auto f = pool.submit(
         []() -> int { throw std::runtime_error("boom"); });
     EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(RuntimeThreadPool, StopDrainRunsEverythingSubmitted)
+{
+    std::atomic<int> counter{0};
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 200; ++i)
+        futures.push_back(
+            pool.submit([&counter] { counter.fetch_add(1); }));
+    pool.stop(ThreadPool::StopMode::kDrain);
+    EXPECT_EQ(counter.load(), 200);
+    EXPECT_EQ(pool.tasksRun(), 200u);
+    EXPECT_EQ(pool.cancelledTasks(), 0u);
+    for (auto& f : futures)
+        EXPECT_NO_THROW(f.get());
+}
+
+TEST(RuntimeThreadPool, StopCancelDropsQueuedWork)
+{
+    // One worker blocked on a gate guarantees a backlog; kCancel must
+    // account for every queued task (run + cancelled = submitted) and
+    // break the dropped tasks' futures instead of leaving them hung.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+    ThreadPool pool(1);
+    auto blocker = pool.submit([&] {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+    });
+    std::vector<std::future<void>> queued;
+    for (int i = 0; i < 50; ++i)
+        queued.push_back(pool.submit([] {}));
+    // stop(kCancel) clears the queue before joining workers, so the
+    // cancel count reaches 50 while the blocker still holds the one
+    // worker — then we release it and the join completes.
+    std::thread stopper(
+        [&] { pool.stop(ThreadPool::StopMode::kCancel); });
+    while (pool.cancelledTasks() != 50)
+        std::this_thread::yield();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        release = true;
+    }
+    cv.notify_all();
+    stopper.join();
+    blocker.get();
+    EXPECT_EQ(pool.tasksRun(), 1u);
+    EXPECT_EQ(pool.cancelledTasks(), 50u);
+    EXPECT_EQ(pool.tasksRun() + pool.cancelledTasks(),
+              pool.tasksSubmitted());
+    size_t broken = 0;
+    for (auto& f : queued) {
+        try {
+            f.get();
+            ADD_FAILURE() << "cancelled future did not break";
+        } catch (const std::future_error& e) {
+            EXPECT_EQ(e.code(),
+                      std::make_error_code(
+                          std::future_errc::broken_promise));
+            ++broken;
+        }
+    }
+    EXPECT_EQ(broken, 50u);
+    pool.stop(ThreadPool::StopMode::kCancel); // Idempotent.
 }
 
 // ---------------------------------------------------------------------

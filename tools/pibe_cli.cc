@@ -18,11 +18,22 @@
  *   pibe stats    -m file.pir
  *   pibe check    -m file.pir [-p prof.txt] [--defense NAME]
  *                 [--checks verify,lint,coverage,profile] [--json]
- *                 [--fail-on warn|error] [--roots a,b,c]
+ *                 [--fail-on note|warn|error] [--roots a,b,c]
  *                 [--allow-func f,g] [--allow-site 1,2]
+ *   pibe serve    [--socket PATH] [--tcp PORT] [--jobs N]
+ *                 [--cache-dir DIR] [--cache-budget BYTES]
+ *                 [--drivers N] [--seed S] [--profile-iters N]
+ *                 [--max-inflight N] [--defense NAME]
+ *                 [--fail-on note|warn|error]
+ *   pibe loadgen  [--socket PATH] [--tcp PORT] [--requests N]
+ *                 [--clients N] [--seed S] [--variants N]
+ *                 [--verify N] [--out FILE]
+ *   pibe client   --op NAME [--params JSON] [--socket PATH]
+ *                 [--tcp PORT] [--save-text FILE]
  *   pibe selftest            (end-to-end smoke of all subcommands)
  */
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -44,6 +55,10 @@
 #include "runtime/artifact_cache.h"
 #include "runtime/job_graph.h"
 #include "runtime/thread_pool.h"
+#include "serve/client.h"
+#include "serve/json.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 #include "support/stats.h"
 #include "support/table.h"
 #include "uarch/simulator.h"
@@ -151,18 +166,11 @@ splitList(const std::string& s)
 harden::DefenseConfig
 defenseByName(const std::string& name)
 {
-    if (name == "none")
-        return harden::DefenseConfig::none();
-    if (name == "retpolines")
-        return harden::DefenseConfig::retpolinesOnly();
-    if (name == "ret-retpolines")
-        return harden::DefenseConfig::retRetpolinesOnly();
-    if (name == "lvi")
-        return harden::DefenseConfig::lviOnly();
-    if (name == "all")
-        return harden::DefenseConfig::all();
-    if (name == "jumpswitches")
-        return harden::DefenseConfig::jumpSwitches();
+    // The library's registry is the one source of truth; the CLI only
+    // adds the fatal-on-typo policy.
+    if (std::optional<harden::DefenseConfig> defense =
+            harden::defenseByName(name))
+        return *defense;
     PIBE_FATAL("unknown defense '", name, "'");
 }
 
@@ -204,10 +212,18 @@ cmdProfile(Args& args)
 {
     ir::Module m = loadModule(args.get("-m", "kernel.pir"));
     kernel::KernelInfo info = kernel::kernelInfoFromModule(m);
-    auto suite = workloadByName(args.get("--workload", "lmbench"));
     uint32_t iters = static_cast<uint32_t>(
         std::stoul(args.get("--iters", "120")));
-    auto profile = core::collectProfile(m, info, suite, iters);
+    profile::EdgeProfile profile;
+    if (args.has("--train")) {
+        // The canonical scaled training profile — the exact profile
+        // the experiment engine and the serve daemon build from, so a
+        // CLI run is byte-comparable with their cached artifacts.
+        profile = core::collectLmbenchProfile(m, info, iters);
+    } else {
+        auto suite = workloadByName(args.get("--workload", "lmbench"));
+        profile = core::collectProfile(m, info, suite, iters);
+    }
     std::string out = args.get("-o", "profile.txt");
     writeFile(out, profile::serializeProfile(m, profile));
     std::printf("wrote %s (%zu direct sites, %zu indirect sites)\n",
@@ -546,22 +562,24 @@ cmdCheck(Args& args)
             static_cast<ir::SiteId>(std::stoul(s)));
 
     const std::string fail_on = args.get("--fail-on", "error");
-    check::Severity threshold;
-    if (fail_on == "warn")
-        threshold = check::Severity::kWarning;
-    else if (fail_on == "error")
-        threshold = check::Severity::kError;
-    else
+    std::optional<check::Severity> threshold =
+        check::severityFromName(fail_on);
+    if (!threshold)
         PIBE_FATAL("unknown --fail-on '", fail_on,
-                   "' (expected warn or error)");
+                   "' (expected note, warn, or error)");
 
-    check::CheckReport report = check::runChecks(m, opts);
+    // The shared policy gate: CLI, in-process engine callers, and the
+    // serve daemon all decide pass/fail through runChecksWithPolicy,
+    // so --fail-on semantics cannot drift between entry points.
+    check::CheckOutcome outcome =
+        check::runChecksWithPolicy(m, opts, *threshold);
+    const check::CheckReport& report = outcome.report;
     if (args.has("--json")) {
         std::printf("{\"module\":\"%s\",\"errors\":%zu,"
                     "\"warnings\":%zu,\"notes\":%zu,"
-                    "\"diagnostics\":%s}\n",
+                    "\"passed\":%s,\"diagnostics\":%s}\n",
                     path.c_str(), report.errors(), report.warnings(),
-                    report.notes(),
+                    report.notes(), outcome.passed ? "true" : "false",
                     check::renderJson(report.diags).c_str());
     } else {
         std::printf("%s", check::renderText(report.diags).c_str());
@@ -569,7 +587,114 @@ cmdCheck(Args& args)
                     path.c_str(), report.errors(), report.warnings(),
                     report.notes());
     }
-    return report.ok(threshold) ? 0 : 1;
+    return outcome.passed ? 0 : 1;
+}
+
+/** Signal target of `pibe serve` (one daemon per process). */
+serve::Server* g_server = nullptr;
+
+void
+handleStopSignal(int)
+{
+    if (g_server)
+        g_server->requestStopFromSignal(); // atomic store only
+}
+
+int
+cmdServe(Args& args)
+{
+    serve::ServeOptions opts;
+    opts.socket_path = args.get("--socket", "/tmp/pibe-serve.sock");
+    const std::string tcp = args.get("--tcp");
+    if (!tcp.empty())
+        opts.tcp_port = std::stoi(tcp);
+    opts.jobs = static_cast<unsigned>(
+        std::stoul(args.get("--jobs", "0")));
+    opts.cache_dir = args.get("--cache-dir");
+    opts.cache_budget = std::stoull(args.get("--cache-budget", "0"));
+    opts.kernel.num_drivers = static_cast<uint32_t>(
+        std::stoul(args.get("--drivers", "448")));
+    opts.kernel.seed = std::stoull(args.get("--seed", "42"));
+    opts.profile_base_iters = static_cast<uint32_t>(
+        std::stoul(args.get("--profile-iters", "120")));
+    opts.max_inflight = static_cast<unsigned>(
+        std::stoul(args.get("--max-inflight", "0")));
+    opts.default_defense = args.get("--defense", "all");
+    opts.fail_on = args.get("--fail-on", "error");
+
+    serve::Server server(std::move(opts));
+    if (!server.start())
+        return 1;
+    g_server = &server;
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+    server.wait();
+    g_server = nullptr;
+    return 0;
+}
+
+int
+cmdLoadgen(Args& args)
+{
+    serve::LoadgenOptions opts;
+    opts.socket_path = args.get("--socket", "/tmp/pibe-serve.sock");
+    const std::string tcp = args.get("--tcp");
+    if (!tcp.empty()) {
+        opts.tcp_port = std::stoi(tcp);
+        opts.socket_path = args.get("--socket");
+    }
+    opts.requests = static_cast<uint32_t>(
+        std::stoul(args.get("--requests", "500")));
+    opts.clients = std::max(1u, static_cast<uint32_t>(std::stoul(
+                                    args.get("--clients", "8"))));
+    opts.seed = std::stoull(args.get("--seed", "1"));
+    opts.image_variants = static_cast<uint32_t>(
+        std::stoul(args.get("--variants", "2")));
+    opts.verify =
+        static_cast<uint32_t>(std::stoul(args.get("--verify", "0")));
+    opts.out_path = args.get("--out", "BENCH_serve.json");
+    return serve::runLoadgen(opts);
+}
+
+int
+cmdClient(Args& args)
+{
+    const std::string op = args.get("--op", "ping");
+    serve::Json params = serve::Json::object();
+    const std::string params_text = args.get("--params");
+    if (!params_text.empty()) {
+        std::optional<serve::Json> parsed =
+            serve::Json::parse(params_text);
+        if (!parsed || !parsed->isObject())
+            PIBE_FATAL("--params is not a JSON object: ", params_text);
+        params = *parsed;
+    }
+
+    serve::Client client;
+    const std::string tcp = args.get("--tcp");
+    bool connected = false;
+    if (!tcp.empty())
+        connected = client.connectTcp(
+            static_cast<uint16_t>(std::stoul(tcp)));
+    else
+        connected = client.connectUnix(
+            args.get("--socket", "/tmp/pibe-serve.sock"));
+    if (!connected)
+        PIBE_FATAL("cannot connect to the serve daemon");
+
+    std::optional<serve::Json> response = client.call(op, params);
+    if (!response)
+        PIBE_FATAL("transport failure talking to the daemon");
+    const std::string save = args.get("--save-text");
+    if (!save.empty()) {
+        // Pull a large text artifact (e.g. optimize --want_text) out
+        // of the response instead of dumping it to the terminal.
+        writeFile(save, (*response)["result"]["text"].asString());
+        std::printf("wrote %s\n", save.c_str());
+    } else {
+        std::printf("%s\n", response->dump().c_str());
+    }
+    return (*response)["ok"].asBool(false) ? 0 : 1;
 }
 
 int
@@ -642,7 +767,8 @@ run(int argc, char** argv)
         std::fprintf(stderr,
                      "usage: pibe "
                      "<kernel|profile|optimize|measure|attack|stats|"
-                     "check|selftest> [options]\n");
+                     "check|serve|loadgen|client|selftest> "
+                     "[options]\n");
         return 2;
     }
     const std::string cmd = argv[1];
@@ -661,6 +787,12 @@ run(int argc, char** argv)
         return cmdStats(args);
     if (cmd == "check")
         return cmdCheck(args);
+    if (cmd == "serve")
+        return cmdServe(args);
+    if (cmd == "loadgen")
+        return cmdLoadgen(args);
+    if (cmd == "client")
+        return cmdClient(args);
     if (cmd == "selftest")
         return cmdSelftest();
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());

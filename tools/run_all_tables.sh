@@ -6,22 +6,30 @@
 # (decoded vs reference hot loop) and merges its result into the JSON
 # so the engine's perf trajectory is tracked per PR.
 #
-# Usage: tools/run_all_tables.sh [BUILD_DIR] [OUT_JSON] [INTERP_JSON]
+# Finally boots a `pibe serve` daemon, replays a concurrent loadgen
+# mix against it, and merges its BENCH_serve.json (p50/p99 latency,
+# throughput, cold vs warm cache) into the output as well.
+#
+# Usage: tools/run_all_tables.sh [BUILD_DIR] [OUT_JSON] [INTERP_JSON] [SERVE_JSON]
 #   BUILD_DIR   cmake build tree holding the bench binaries (default: build)
 #   OUT_JSON    output metrics file (default: BENCH_tables.json)
 #   INTERP_JSON interpreter microbench output (default: BENCH_interpreter.json)
+#   SERVE_JSON  serve loadgen output (default: BENCH_serve.json)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_tables.json}"
 INTERP_JSON="${3:-BENCH_interpreter.json}"
+SERVE_JSON="${4:-BENCH_serve.json}"
 JOBS="$(nproc)"
 TABLES=(table5_all_defenses table6_per_defense table3_retpolines
         table7_macrobenchmarks)
 
-for t in "${TABLES[@]}"; do
-    if [[ ! -x "$BUILD_DIR/bench/$t" ]]; then
-        echo "error: $BUILD_DIR/bench/$t not found;" \
+for bin in bench/table5_all_defenses bench/table6_per_defense \
+           bench/table3_retpolines bench/table7_macrobenchmarks \
+           tools/pibe; do
+    if [[ ! -x "$BUILD_DIR/$bin" ]]; then
+        echo "error: $BUILD_DIR/$bin not found;" \
              "build with: cmake -B $BUILD_DIR -S . &&" \
              "cmake --build $BUILD_DIR -j" >&2
         exit 1
@@ -70,6 +78,23 @@ echo "== interpreter microbench (decoded vs reference) =="
 "$BUILD_DIR/bench/microbench_interpreter" \
     --interpreter-json "$INTERP_JSON"
 
+echo "== serve daemon loadgen (cold + warm cache) =="
+SERVE_SOCK="$WORK/serve.sock"
+"$BUILD_DIR/tools/pibe" serve --socket "$SERVE_SOCK" --jobs "$JOBS" \
+    --drivers 64 --profile-iters 30 --cache-dir "$WORK/serve-cache" \
+    > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    "$BUILD_DIR/tools/pibe" client --socket "$SERVE_SOCK" --op ping \
+        > /dev/null 2>&1 && break
+    sleep 0.2
+done
+"$BUILD_DIR/tools/pibe" loadgen --socket "$SERVE_SOCK" \
+    --requests 200 --clients 8 --out "$SERVE_JSON"
+"$BUILD_DIR/tools/pibe" client --socket "$SERVE_SOCK" \
+    --op shutdown > /dev/null
+wait "$SERVE_PID"
+
 {
     echo "{"
     echo "  \"jobs\": $JOBS,"
@@ -81,6 +106,7 @@ echo "== interpreter microbench (decoded vs reference) =="
     echo "  \"output_identical\": true,"
     echo "  \"interpreter\": $(sed 's/^/  /' "$INTERP_JSON" \
         | sed '1s/^  //'),"
+    echo "  \"serve\": $(cat "$SERVE_JSON"),"
     echo "  \"tables\": ["
     sep=""
     for t in "${TABLES[@]}"; do
@@ -93,4 +119,4 @@ echo "== interpreter microbench (decoded vs reference) =="
 echo "== done =="
 echo "serial:   ${serial_ms} ms"
 echo "parallel: ${parallel_ms} ms (speedup ${speedup}x)"
-echo "metrics:  $OUT_JSON"
+echo "metrics:  $OUT_JSON (serve: $SERVE_JSON)"
