@@ -7,18 +7,36 @@
  * simulated cycles, which wall-clock timing cannot express.
  *
  * Besides the google-benchmark suite, `--interpreter-json FILE` runs
- * the decoded hot loop and the pre-rewrite reference loop on the same
- * syscall workload and writes FILE (BENCH_interpreter.json) with both
- * throughputs, their ratio, and decode cost — the per-PR perf record
- * tools/run_all_tables.sh merges into the bench metrics.
+ * the dispatch-cost harness on the same syscall workload and writes
+ * FILE (BENCH_interpreter.json): decoded-engine throughput per
+ * dispatch configuration (threaded/switch x fused/unfused), the
+ * pre-rewrite reference loop as the speedup denominator, per-family
+ * superinstruction coverage (static sites + dynamic executions), the
+ * top decode-time digrams the fusion set was chosen from, and a
+ * provenance block (git sha, compiler, CPU model, dispatch mode) so
+ * recorded numbers are attributable to a machine and build.
+ *
+ * Throughput methodology: each configuration reports its *peak*
+ * 1000-syscall window over >= 2 s of measurement. A window (~1.5 ms)
+ * is long against clock resolution but short against scheduler
+ * quanta, so on a shared/noisy host the peak window reflects the
+ * engine's actual speed rather than whatever else the machine was
+ * doing — whole-run averages on a loaded 1-core box were observed to
+ * swing by 2x run to run, while the peak window is stable.
  */
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "ir/printer.h"
 #include "opt/cleanup.h"
 #include "opt/icp.h"
 #include "opt/inliner.h"
@@ -140,37 +158,117 @@ BM_CleanupModule(benchmark::State& state)
 BENCHMARK(BM_CleanupModule);
 
 // ---------------------------------------------------------------------
-// --interpreter-json: decoded vs reference throughput, as JSON.
+// --interpreter-json: the dispatch-cost harness, as JSON.
 
-/** Simulated instructions per host second over >= min_seconds of the
- *  read-syscall workload (after a fixed warmup). */
+/** One measured interpreter configuration. */
+struct RateConfig
+{
+    bool reference = false; ///< Pre-rewrite loop (ignores the rest).
+    bool fuse = true;       ///< Decode-time superinstruction fusion.
+    uarch::Simulator::DispatchMode mode =
+        uarch::Simulator::DispatchMode::kThreaded;
+};
+
+/**
+ * Peak simulated-instructions-per-host-second over 1000-syscall
+ * windows, measured for >= min_seconds of the read-syscall workload
+ * (after a fixed warmup). See the file comment for why peak-window
+ * beats a whole-run average on shared hosts.
+ */
 double
-syscallRate(bool reference, double min_seconds)
+syscallRate(const RateConfig& cfg, double min_seconds)
 {
     using Clock = std::chrono::steady_clock;
     const auto& k = sharedKernel();
-    uarch::Simulator sim(k.module);
-    sim.setUseReferencePath(reference);
+    const auto decoded = std::make_shared<const uarch::DecodedModule>(
+        k.module, cfg.fuse);
+    uarch::Simulator sim(decoded);
+    sim.setUseReferencePath(cfg.reference);
+    sim.setDispatchMode(cfg.mode);
     workload::KernelHandle handle(sim, k.info);
     handle.boot();
     for (int i = 0; i < 200; ++i)
         handle.syscall(kernel::sysno::kRead, 3, 0, 4);
-    sim.clearStats();
-    const Clock::time_point t0 = Clock::now();
-    double elapsed = 0;
+    double best = 0;
+    double total = 0;
     do {
+        sim.clearStats();
+        const Clock::time_point t0 = Clock::now();
         for (int i = 0; i < 1000; ++i)
             handle.syscall(kernel::sysno::kRead, 3, 0, 4);
-        elapsed = std::chrono::duration<double>(Clock::now() - t0)
-                      .count();
-    } while (elapsed < min_seconds);
-    return static_cast<double>(sim.stats().instructions) / elapsed;
+        const double dt =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        total += dt;
+        best = std::max(
+            best, static_cast<double>(sim.stats().instructions) / dt);
+    } while (total < min_seconds);
+    return best;
+}
+
+/** First line of a shell command's output ("" on failure). */
+std::string
+firstLineOf(const char* cmd)
+{
+    std::string line;
+    if (std::FILE* p = ::popen(cmd, "r")) {
+        char buf[256];
+        if (std::fgets(buf, sizeof buf, p)) {
+            line = buf;
+            while (!line.empty() &&
+                   (line.back() == '\n' || line.back() == '\r'))
+                line.pop_back();
+        }
+        ::pclose(p);
+    }
+    return line;
+}
+
+/** "model name" from /proc/cpuinfo ("" when unavailable). */
+std::string
+cpuModel()
+{
+    std::string model;
+    if (std::FILE* f = std::fopen("/proc/cpuinfo", "r")) {
+        char buf[512];
+        while (std::fgets(buf, sizeof buf, f)) {
+            if (std::strncmp(buf, "model name", 10) == 0) {
+                const char* colon = std::strchr(buf, ':');
+                if (colon) {
+                    model = colon + 1;
+                    while (!model.empty() &&
+                           (model.front() == ' ' ||
+                            model.front() == '\t'))
+                        model.erase(model.begin());
+                    while (!model.empty() &&
+                           (model.back() == '\n' ||
+                            model.back() == '\r'))
+                        model.pop_back();
+                }
+                break;
+            }
+        }
+        std::fclose(f);
+    }
+    return model;
+}
+
+const char*
+compilerId()
+{
+#if defined(__clang__)
+    return "clang " __clang_version__;
+#elif defined(__GNUC__)
+    return "gcc " __VERSION__;
+#else
+    return "unknown";
+#endif
 }
 
 int
 writeInterpreterJson(const char* path)
 {
     using Clock = std::chrono::steady_clock;
+    using uarch::Simulator;
     const auto& k = sharedKernel();
 
     const Clock::time_point t0 = Clock::now();
@@ -179,8 +277,29 @@ writeInterpreterJson(const char* path)
         std::chrono::duration<double, std::milli>(Clock::now() - t0)
             .count();
 
-    const double reference = syscallRate(/*reference=*/true, 2.0);
-    const double hot = syscallRate(/*reference=*/false, 2.0);
+    const auto kThreaded = Simulator::DispatchMode::kThreaded;
+    const auto kSwitch = Simulator::DispatchMode::kSwitch;
+    const double reference = syscallRate({.reference = true}, 2.0);
+    const double hot =
+        syscallRate({.fuse = true, .mode = kThreaded}, 2.0);
+    const double hot_switch =
+        syscallRate({.fuse = true, .mode = kSwitch}, 2.0);
+    const double unfused =
+        syscallRate({.fuse = false, .mode = kThreaded}, 2.0);
+    const double unfused_switch =
+        syscallRate({.fuse = false, .mode = kSwitch}, 2.0);
+
+    // Per-family dynamic execution counts over a fixed syscall batch
+    // (the dispatch-count side of the per-digram cost story; the rate
+    // deltas above are the time side).
+    Simulator fsim(k.module);
+    workload::KernelHandle fhandle(fsim, k.info);
+    fhandle.boot();
+    fsim.clearStats();
+    for (int i = 0; i < 2000; ++i)
+        fhandle.syscall(kernel::sysno::kRead, 3, 0, 4);
+    const uarch::RunStats& fstats = fsim.stats();
+    const uarch::DecodeStats& ds = decoded.decodeStats();
 
     std::FILE* out = std::fopen(path, "w");
     if (!out) {
@@ -190,20 +309,147 @@ writeInterpreterJson(const char* path)
     std::fprintf(out, "{\n");
     std::fprintf(out,
                  "  \"benchmark\": \"read syscall, 32-driver kernel\",\n");
+    std::fprintf(out,
+                 "  \"methodology\": \"peak 1000-syscall window over "
+                 ">=2s per configuration\",\n");
     std::fprintf(out, "  \"decoded_minstr_per_s\": %.3f,\n", hot / 1e6);
+    std::fprintf(out, "  \"decoded_switch_minstr_per_s\": %.3f,\n",
+                 hot_switch / 1e6);
+    std::fprintf(out, "  \"decoded_unfused_minstr_per_s\": %.3f,\n",
+                 unfused / 1e6);
+    std::fprintf(out,
+                 "  \"decoded_unfused_switch_minstr_per_s\": %.3f,\n",
+                 unfused_switch / 1e6);
     std::fprintf(out, "  \"reference_minstr_per_s\": %.3f,\n",
                  reference / 1e6);
     std::fprintf(out, "  \"speedup\": %.3f,\n", hot / reference);
     std::fprintf(out, "  \"decode_ms\": %.3f,\n", decode_ms);
     std::fprintf(out, "  \"decoded_bytes\": %zu,\n",
                  decoded.decodedBytes());
-    std::fprintf(out, "  \"decoded_insts\": %zu\n",
+    std::fprintf(out, "  \"decoded_insts\": %zu,\n",
                  decoded.code().size());
+    std::fprintf(out, "  \"fused_static_pairs\": %llu,\n",
+                 static_cast<unsigned long long>(ds.fused_pairs));
+    std::fprintf(out, "  \"fused_families\": [\n");
+    for (size_t f = 0; f < uarch::kNumFusedFamilies; ++f) {
+        std::fprintf(
+            out,
+            "    {\"family\": \"%s\", \"static_sites\": %llu, "
+            "\"dynamic_execs\": %llu}%s\n",
+            uarch::fusedFamilyName(static_cast<uarch::FusedFamily>(f)),
+            static_cast<unsigned long long>(ds.fused_sites[f]),
+            static_cast<unsigned long long>(fstats.fused[f]),
+            f + 1 < uarch::kNumFusedFamilies ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    // The top static digrams (the data fusion candidates come from).
+    {
+        struct Entry
+        {
+            uint64_t n;
+            int a, b;
+        };
+        std::vector<Entry> top;
+        for (int a = 0; a < static_cast<int>(uarch::kNumIrOpcodes); ++a)
+            for (int b = 0; b < static_cast<int>(uarch::kNumIrOpcodes);
+                 ++b)
+                if (ds.digram[a][b] > 0)
+                    top.push_back({ds.digram[a][b], a, b});
+        std::sort(top.begin(), top.end(),
+                  [](const Entry& x, const Entry& y) {
+                      return x.n > y.n;
+                  });
+        if (top.size() > 8)
+            top.resize(8);
+        std::fprintf(out, "  \"top_static_digrams\": [\n");
+        for (size_t i = 0; i < top.size(); ++i) {
+            std::fprintf(
+                out,
+                "    {\"pair\": \"%s+%s\", \"sites\": %llu}%s\n",
+                ir::opcodeName(static_cast<ir::Opcode>(top[i].a)),
+                ir::opcodeName(static_cast<ir::Opcode>(top[i].b)),
+                static_cast<unsigned long long>(top[i].n),
+                i + 1 < top.size() ? "," : "");
+        }
+        std::fprintf(out, "  ],\n");
+    }
+    // Per-opcode static histogram (same decode the digrams came
+    // from), so candidate selection has both halves in one artifact.
+    {
+        std::fprintf(out, "  \"opcode_histogram\": [\n");
+        bool first = true;
+        for (size_t o = 0; o < uarch::kNumIrOpcodes; ++o) {
+            if (ds.op_count[o] == 0)
+                continue;
+            std::fprintf(
+                out, "%s    {\"op\": \"%s\", \"static_sites\": %llu}",
+                first ? "" : ",\n",
+                ir::opcodeName(static_cast<ir::Opcode>(o)),
+                static_cast<unsigned long long>(ds.op_count[o]));
+            first = false;
+        }
+        std::fprintf(out, "\n  ],\n");
+    }
+    // Measured dispatch cost: how many dispatches the fixed syscall
+    // batch performed (fused pairs retire two instructions per
+    // dispatch) and the derived per-dispatch cost in each
+    // configuration — the number a future fusion candidate's expected
+    // saving is priced against.
+    {
+        uint64_t fused_execs = 0;
+        for (uint64_t n : fstats.fused)
+            fused_execs += n;
+        const uint64_t insts = fstats.instructions;
+        const uint64_t dispatches = insts - fused_execs;
+        const double per_disp =
+            static_cast<double>(insts) / dispatches;
+        std::fprintf(out, "  \"dispatch_cost\": {\n");
+        std::fprintf(out, "    \"instructions\": %llu,\n",
+                     static_cast<unsigned long long>(insts));
+        std::fprintf(out, "    \"dispatches\": %llu,\n",
+                     static_cast<unsigned long long>(dispatches));
+        std::fprintf(out, "    \"fused_execs\": %llu,\n",
+                     static_cast<unsigned long long>(fused_execs));
+        std::fprintf(out,
+                     "    \"threaded_ns_per_dispatch\": %.3f,\n",
+                     1e9 / hot * per_disp);
+        std::fprintf(out, "    \"switch_ns_per_dispatch\": %.3f,\n",
+                     1e9 / hot_switch * per_disp);
+        std::fprintf(
+            out,
+            "    \"unfused_threaded_ns_per_dispatch\": %.3f,\n",
+            1e9 / unfused);
+        std::fprintf(out,
+                     "    \"unfused_switch_ns_per_dispatch\": %.3f\n",
+                     1e9 / unfused_switch);
+        std::fprintf(out, "  },\n");
+    }
+    // Provenance: make the recorded number attributable.
+    {
+        char stamp[64] = "";
+        const std::time_t now = std::time(nullptr);
+        std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                      std::gmtime(&now));
+        const std::string sha =
+            firstLineOf("git rev-parse --short HEAD 2>/dev/null");
+        std::fprintf(out, "  \"provenance\": {\n");
+        std::fprintf(out, "    \"git_sha\": \"%s\",\n", sha.c_str());
+        std::fprintf(out, "    \"compiler\": \"%s\",\n", compilerId());
+        std::fprintf(out, "    \"cpu\": \"%s\",\n",
+                     cpuModel().c_str());
+        std::fprintf(out, "    \"dispatch_mode\": \"%s\",\n",
+                     Simulator::threadedDispatchAvailable() ? "threaded"
+                                                            : "switch");
+        std::fprintf(out, "    \"timestamp_utc\": \"%s\"\n", stamp);
+        std::fprintf(out, "  }\n");
+    }
     std::fprintf(out, "}\n");
     std::fclose(out);
-    std::printf("interpreter: decoded %.2f Minstr/s, reference %.2f "
-                "Minstr/s (%.2fx) -> %s\n",
-                hot / 1e6, reference / 1e6, hot / reference, path);
+    std::printf("interpreter: decoded %.2f Minstr/s (switch %.2f, "
+                "unfused %.2f), reference %.2f Minstr/s (%.2fx) -> "
+                "%s\n",
+                hot / 1e6, hot_switch / 1e6, unfused / 1e6,
+                reference / 1e6, hot / reference, path);
     return 0;
 }
 

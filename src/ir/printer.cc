@@ -29,6 +29,29 @@ binKindName(BinKind kind)
 }
 
 const char*
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::kConst:      return "const";
+      case Opcode::kMove:       return "move";
+      case Opcode::kBinOp:      return "binop";
+      case Opcode::kFuncAddr:   return "funcaddr";
+      case Opcode::kLoad:       return "load";
+      case Opcode::kStore:      return "store";
+      case Opcode::kFrameLoad:  return "frameload";
+      case Opcode::kFrameStore: return "framestore";
+      case Opcode::kCall:       return "call";
+      case Opcode::kICall:      return "icall";
+      case Opcode::kRet:        return "ret";
+      case Opcode::kBr:         return "br";
+      case Opcode::kCondBr:     return "condbr";
+      case Opcode::kSwitch:     return "switch";
+      case Opcode::kSink:       return "sink";
+    }
+    return "?";
+}
+
+const char*
 fwdSchemeName(FwdScheme scheme)
 {
     switch (scheme) {

@@ -25,6 +25,7 @@ std::string printModule(const Module& module);
 const char* fwdSchemeName(FwdScheme scheme);
 const char* retSchemeName(RetScheme scheme);
 const char* binKindName(BinKind kind);
+const char* opcodeName(Opcode op);
 
 } // namespace pibe::ir
 

@@ -112,7 +112,7 @@ std::string
 serializeMeasurement(const Measurement& m)
 {
     std::ostringstream os;
-    os << "pibe-measurement v1\n";
+    os << "pibe-measurement v2\n";
     os << "latency_bits " << std::bit_cast<uint64_t>(m.latency_us)
        << "\n";
     os << "ops_bits " << std::bit_cast<uint64_t>(m.ops_per_sec) << "\n";
@@ -125,6 +125,12 @@ serializeMeasurement(const Measurement& m)
        << s.thunk_execs << " " << s.js_hits << " " << s.js_misses << " "
        << s.js_patches << " " << s.js_learning << " "
        << s.max_call_depth << " " << s.peak_frame_slots << "\n";
+    // v2: per-family superinstruction execution counts (decoded-path
+    // fusion coverage; zero when the measurement ran unfused).
+    os << "fused";
+    for (const uint64_t f : s.fused)
+        os << " " << f;
+    os << "\n";
     return os.str();
 }
 
@@ -134,7 +140,7 @@ parseMeasurement(const std::string& text)
     std::istringstream is(text);
     std::string header;
     std::getline(is, header);
-    if (header != "pibe-measurement v1")
+    if (header != "pibe-measurement v2")
         PIBE_FATAL("bad measurement artifact header: '", header, "'");
     Measurement m;
     std::string tag;
@@ -154,6 +160,12 @@ parseMeasurement(const std::string& text)
           s.max_call_depth >> s.peak_frame_slots) ||
         tag != "stats")
         PIBE_FATAL("bad measurement artifact (stats)");
+    if (!(is >> tag) || tag != "fused")
+        PIBE_FATAL("bad measurement artifact (fused)");
+    for (uint64_t& f : s.fused) {
+        if (!(is >> f))
+            PIBE_FATAL("bad measurement artifact (fused counts)");
+    }
     return m;
 }
 

@@ -47,6 +47,57 @@ evalBin(ir::BinKind kind, int64_t a, int64_t b)
     PIBE_PANIC("unhandled BinKind");
 }
 
+/**
+ * Compile-time-specialized variant for the decoded stream's
+ * kind-specific opcodes: the operator is a template parameter, so a
+ * specialized handler carries no second dispatch on the kind. kDiv
+ * and kRem deliberately have no specialization — their zero-divisor
+ * side exit stays on the generic evalBin path above (and the decoder
+ * never emits a specialized opcode for them).
+ *
+ * Semantics are identical to evalBin by construction: unsigned
+ * wraparound arithmetic, shift counts masked to 6 bits, comparisons
+ * yielding 0/1.
+ */
+template <ir::BinKind K>
+inline int64_t
+evalBinK(int64_t a, int64_t b)
+{
+    using ir::BinKind;
+    const auto ua = static_cast<uint64_t>(a);
+    const auto ub = static_cast<uint64_t>(b);
+    if constexpr (K == BinKind::kAdd)
+        return static_cast<int64_t>(ua + ub);
+    else if constexpr (K == BinKind::kSub)
+        return static_cast<int64_t>(ua - ub);
+    else if constexpr (K == BinKind::kMul)
+        return static_cast<int64_t>(ua * ub);
+    else if constexpr (K == BinKind::kAnd)
+        return a & b;
+    else if constexpr (K == BinKind::kOr)
+        return a | b;
+    else if constexpr (K == BinKind::kXor)
+        return a ^ b;
+    else if constexpr (K == BinKind::kShl)
+        return static_cast<int64_t>(ua << (ub & 63));
+    else if constexpr (K == BinKind::kShr)
+        return static_cast<int64_t>(ua >> (ub & 63));
+    else if constexpr (K == BinKind::kEq)
+        return a == b;
+    else if constexpr (K == BinKind::kNe)
+        return a != b;
+    else if constexpr (K == BinKind::kLt)
+        return a < b;
+    else if constexpr (K == BinKind::kLe)
+        return a <= b;
+    else if constexpr (K == BinKind::kGt)
+        return a > b;
+    else if constexpr (K == BinKind::kGe)
+        return a >= b;
+    else
+        static_assert(K != K, "evalBinK: kind has no specialization");
+}
+
 } // namespace pibe::uarch
 
 #endif // PIBE_UARCH_EVAL_BIN_H_

@@ -176,6 +176,26 @@ class Pht
         history_ = ((history_ << 1) | (taken ? 1 : 0)) & kHistoryMask;
     }
 
+    /**
+     * Fused predictTaken + update for the decoded hot loop: one index
+     * computation instead of two. Bit-identical to calling the pair —
+     * both calls index with the same pre-update history (update only
+     * shifts history at the end), so reading the counter once is
+     * exactly what the two lookups read.
+     */
+    bool
+    predictAndUpdate(uint64_t addr, bool taken)
+    {
+        uint8_t& c = counters_[indexOf(addr)];
+        const bool predicted = c >= 2;
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) & kHistoryMask;
+        return predicted;
+    }
+
     void
     flush()
     {

@@ -6,10 +6,60 @@
 #include "uarch/simulator.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 #include "uarch/eval_bin.h"
 
+/**
+ * Direct-threaded dispatch needs the GNU computed-goto extension
+ * (GCC and Clang both provide it). -DPIBE_DISPATCH=switch at
+ * configure time defines PIBE_FORCE_SWITCH_DISPATCH to compile the
+ * threaded entry point down to the portable switch loop.
+ */
+#if !defined(PIBE_FORCE_SWITCH_DISPATCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define PIBE_HAS_COMPUTED_GOTO 1
+#else
+#define PIBE_HAS_COMPUTED_GOTO 0
+#endif
+
 namespace pibe::uarch {
+
+bool
+Simulator::threadedDispatchAvailable()
+{
+    return PIBE_HAS_COMPUTED_GOTO != 0;
+}
+
+Simulator::DispatchMode
+Simulator::defaultDispatchMode()
+{
+    static const DispatchMode mode = [] {
+        if (!threadedDispatchAvailable())
+            return DispatchMode::kSwitch;
+        const char* env = std::getenv("PIBE_DISPATCH");
+        if (env && std::string_view(env) == "switch")
+            return DispatchMode::kSwitch;
+        return DispatchMode::kThreaded;
+    }();
+    return mode;
+}
+
+void
+Simulator::setDispatchMode(DispatchMode mode)
+{
+    if (mode == DispatchMode::kThreaded && !threadedDispatchAvailable())
+        mode = DispatchMode::kSwitch;
+    dispatch_ = mode;
+}
+
+const char*
+Simulator::dispatchModeName() const
+{
+    return dispatch_ == DispatchMode::kThreaded ? "threaded"
+                                                : "switch";
+}
 
 Simulator::Simulator(const ir::Module& module, const CostParams& params)
     : Simulator(std::make_shared<const DecodedModule>(module), params)
@@ -235,7 +285,8 @@ Simulator::leaveDecoded(int64_t value)
         // (the callee may have evicted the caller's lines).
         if (timing_) {
             const DecodedInst& resume = decoded_->code()[caller.pc];
-            fetchRange(resume.addr, resume.block_end);
+            fetchRange(resume.addr,
+                       decoded_->aux()[caller.pc].block_end);
         }
     }
 }
@@ -252,309 +303,48 @@ Simulator::run(ir::FuncId entry, const std::vector<int64_t>& args)
     enterDecoded(entry, ir::kNoReg, 0);
     std::copy(args.begin(), args.end(),
               reg_stack_.begin() + frames_.back().reg_base);
-    return timing_ ? runLoop<true>() : runLoop<false>();
+    if (dispatch_ == DispatchMode::kThreaded) {
+        return timing_ ? runLoopThreaded<true>()
+                       : runLoopThreaded<false>();
+    }
+    return timing_ ? runLoopSwitch<true>() : runLoopSwitch<false>();
 }
 
 /**
- * The decoded hot loop. The interpreter state that changes on every
- * instruction (pc, register window, frame window) lives in locals;
- * the Frame object is only synchronized at call boundaries (the
- * stored pc doubles as the resume point leaveDecoded refetches).
- * Instruction and cycle counts accumulate in locals as well and are
- * flushed into stats_ once on exit — the helpers (fetchRange,
- * indirectCallCost, enterDecoded) keep adding to stats_.cycles
- * directly, which is fine: the two streams just sum.
+ * The decoded hot loops. The full loop body lives in interp_loop.inc
+ * (which includes the shared handler bodies from interp_ops.inc);
+ * each flavor sets PIBE_INTERP_THREADED to pick its dispatch
+ * mechanism. Both are instantiated for Timing = true/false by run().
  */
 template <bool Timing>
 int64_t
-Simulator::runLoop()
+Simulator::runLoopSwitch()
 {
-    const DecodedInst* const code = decoded_->code().data();
-    const BlockTarget* const targets = decoded_->targets().data();
-    const ir::Reg* const args_pool = decoded_->argsPool().data();
-    const SwitchCase* const sw_cases = decoded_->switchCases().data();
-    const uint32_t* const dense = decoded_->denseTargets().data();
-
-    uint64_t n_insts = 0;
-    uint64_t cycles = 0;
-    uint32_t pc = frames_.back().pc;
-    uint32_t reg_base = frames_.back().reg_base;
-    uint32_t frame_base = frames_.back().frame_base;
-    int64_t* regs = reg_stack_.data() + reg_base;
-    int64_t* frame = frame_stack_.data() + frame_base;
-
-    // Re-derive the local windows after the pooled stacks may have
-    // grown (and relocated) or the active frame changed.
-    const auto reload = [&] {
-        const Frame& fr = frames_.back();
-        pc = fr.pc;
-        reg_base = fr.reg_base;
-        frame_base = fr.frame_base;
-        regs = reg_stack_.data() + reg_base;
-        frame = frame_stack_.data() + frame_base;
-    };
-
-    while (true) {
-        const DecodedInst& inst = code[pc];
-        ++n_insts;
-
-        switch (inst.op) {
-          case ir::Opcode::kConst:
-            regs[inst.dst] = inst.imm;
-            if constexpr (Timing)
-                cycles += params_.cost_free;
-            ++pc;
-            break;
-          case ir::Opcode::kMove:
-            regs[inst.dst] = regs[inst.a];
-            if constexpr (Timing)
-                cycles += params_.cost_free;
-            ++pc;
-            break;
-          case ir::Opcode::kBinOp:
-            regs[inst.dst] = evalBin(inst.bin, regs[inst.a],
-                                     regs[inst.b]);
-            if constexpr (Timing)
-                cycles += params_.cost_simple;
-            ++pc;
-            break;
-          case ir::Opcode::kFuncAddr:
-            regs[inst.dst] = ir::funcAddrValue(inst.callee);
-            if constexpr (Timing)
-                cycles += params_.cost_free;
-            ++pc;
-            break;
-          case ir::Opcode::kLoad: {
-            auto& g = globals_[inst.global];
-            const int64_t index = regs[inst.a] + inst.imm;
-            if (index < 0 || index >= static_cast<int64_t>(g.size())) {
-                PIBE_FATAL("load out of bounds: @",
-                           module_.global(inst.global).name, "[", index,
-                           "] in ", frames_.back().func->name);
-            }
-            regs[inst.dst] = g[index];
-            if constexpr (Timing)
-                cycles += params_.cost_mem;
-            ++pc;
-            break;
-          }
-          case ir::Opcode::kStore: {
-            auto& g = globals_[inst.global];
-            const int64_t index = regs[inst.a] + inst.imm;
-            if (index < 0 || index >= static_cast<int64_t>(g.size())) {
-                PIBE_FATAL("store out of bounds: @",
-                           module_.global(inst.global).name, "[", index,
-                           "] in ", frames_.back().func->name);
-            }
-            g[index] = regs[inst.b];
-            if constexpr (Timing)
-                cycles += params_.cost_mem;
-            ++pc;
-            break;
-          }
-          case ir::Opcode::kFrameLoad:
-            regs[inst.dst] = frame[inst.imm];
-            if constexpr (Timing)
-                cycles += params_.cost_simple;
-            ++pc;
-            break;
-          case ir::Opcode::kFrameStore:
-            frame[inst.imm] = regs[inst.a];
-            if constexpr (Timing)
-                cycles += params_.cost_simple;
-            ++pc;
-            break;
-          case ir::Opcode::kSink:
-            sink_hash_ = sink_hash_ * 0x100000001b3ull ^
-                         static_cast<uint64_t>(regs[inst.a]);
-            if constexpr (Timing)
-                cycles += params_.cost_simple;
-            ++pc;
-            break;
-          case ir::Opcode::kCall: {
-            ++stats_.direct_calls;
-            if (profiler_)
-                profiler_->addDirect(inst.site_id);
-            if constexpr (Timing) {
-                cycles += params_.cost_dcall +
-                          params_.cost_arg * inst.args_count;
-            }
-            ++pc; // resume after the call upon return
-            if (inst.callee_is_decl) {
-                if (profiler_)
-                    profiler_->addInvocation(inst.callee);
-                if constexpr (Timing)
-                    cycles += params_.cost_external;
-                if (inst.dst != ir::kNoReg)
-                    regs[inst.dst] = 0;
-                break;
-            }
-            rsb_.push(inst.next_addr);
-            frames_.back().pc = pc; // resume point for leaveDecoded
-            // Argument transfer straight into the callee's register
-            // window; indices, not pointers — enterDecoded may grow
-            // (and relocate) reg_stack_.
-            const uint32_t caller_base = reg_base;
-            enterDecoded(inst.callee, inst.dst, inst.next_addr);
-            const uint32_t callee_base = frames_.back().reg_base;
-            for (uint32_t i = 0; i < inst.args_count; ++i) {
-                reg_stack_[callee_base + i] =
-                    reg_stack_[caller_base +
-                               args_pool[inst.args_begin + i]];
-            }
-            reload();
-            break;
-          }
-          case ir::Opcode::kICall: {
-            ++stats_.indirect_calls;
-            const int64_t value = regs[inst.a];
-            if (!ir::isFuncAddrValue(value)) {
-                PIBE_FATAL("indirect call through non-function value ",
-                           value, " in ", frames_.back().func->name);
-            }
-            const ir::FuncId target = ir::funcAddrTarget(value);
-            if (target >= decoded_->numFunctions()) {
-                PIBE_FATAL("indirect call to unknown function in ",
-                           frames_.back().func->name);
-            }
-            const DecodedFunction& callee = decoded_->func(target);
-            if (callee.num_params != inst.args_count) {
-                PIBE_FATAL("indirect call arity mismatch: ",
-                           frames_.back().func->name, " -> ",
-                           callee.func->name);
-            }
-            if (profiler_)
-                profiler_->addIndirect(inst.site_id, target);
-            if (observer_) {
-                observer_->onIndirectBranch(inst.addr, inst.fwd_scheme,
-                                            callee.base_addr, btb_);
-            }
-            if constexpr (Timing) {
-                cycles +=
-                    indirectCallCost(inst.addr, callee.base_addr,
-                                     target, inst.fwd_scheme,
-                                     inst.js_slot) +
-                    params_.cost_arg * inst.args_count;
-            }
-            ++pc;
-            if (callee.is_declaration) {
-                if (profiler_)
-                    profiler_->addInvocation(target);
-                if constexpr (Timing)
-                    cycles += params_.cost_external;
-                if (inst.dst != ir::kNoReg)
-                    regs[inst.dst] = 0;
-                break;
-            }
-            rsb_.push(inst.next_addr);
-            frames_.back().pc = pc;
-            const uint32_t caller_base = reg_base;
-            enterDecoded(target, inst.dst, inst.next_addr);
-            const uint32_t callee_base = frames_.back().reg_base;
-            for (uint32_t i = 0; i < inst.args_count; ++i) {
-                reg_stack_[callee_base + i] =
-                    reg_stack_[caller_base +
-                               args_pool[inst.args_begin + i]];
-            }
-            reload();
-            break;
-          }
-          case ir::Opcode::kRet: {
-            ++stats_.returns;
-            const int64_t value =
-                inst.a == ir::kNoReg ? 0 : regs[inst.a];
-            const uint64_t ret_addr = frames_.back().ret_addr;
-            if (observer_) {
-                observer_->onReturn(inst.addr, inst.ret_scheme,
-                                    ret_addr, rsb_);
-            }
-            if constexpr (Timing) {
-                cycles += returnCost(ret_addr, inst.ret_scheme);
-            } else {
-                rsb_.pop();
-            }
-            leaveDecoded(value);
-            if (frames_.empty()) {
-                stats_.instructions += n_insts;
-                stats_.cycles += cycles;
-                return last_return_;
-            }
-            reload();
-            break;
-          }
-          case ir::Opcode::kBr: {
-            if constexpr (Timing)
-                cycles += params_.cost_br;
-            const BlockTarget& bt = targets[inst.t0];
-            pc = bt.code_index;
-            if constexpr (Timing)
-                fetchRange(bt.start_addr, bt.end_addr);
-            break;
-          }
-          case ir::Opcode::kCondBr: {
-            ++stats_.cond_branches;
-            const bool taken = regs[inst.a] != 0;
-            if constexpr (Timing) {
-                const bool predicted = pht_.predictTaken(inst.addr);
-                pht_.update(inst.addr, taken);
-                if (predicted == taken) {
-                    cycles += params_.cost_condbr_predicted;
-                } else {
-                    ++stats_.pht_mispredicts;
-                    cycles += params_.cost_condbr_mispredict;
-                }
-            }
-            const BlockTarget& bt = targets[taken ? inst.t0 : inst.t1];
-            pc = bt.code_index;
-            if constexpr (Timing)
-                fetchRange(bt.start_addr, bt.end_addr);
-            break;
-          }
-          case ir::Opcode::kSwitch: {
-            ++stats_.switches;
-            const int64_t value = regs[inst.a];
-            uint32_t target_idx = inst.t0; // default
-            if (inst.switch_dense) {
-                const uint64_t off = static_cast<uint64_t>(value) -
-                                     static_cast<uint64_t>(inst.imm);
-                if (off < inst.sw_count &&
-                    dense[inst.sw_begin + off] != kNoIndex)
-                    target_idx = dense[inst.sw_begin + off];
-            } else if (inst.sw_count > 0) {
-                const SwitchCase* first = sw_cases + inst.sw_begin;
-                const SwitchCase* last = first + inst.sw_count;
-                const SwitchCase* it = std::lower_bound(
-                    first, last, value,
-                    [](const SwitchCase& sc, int64_t v) {
-                        return sc.value < v;
-                    });
-                if (it != last && it->value == value)
-                    target_idx = it->target;
-            }
-            const BlockTarget& bt = targets[target_idx];
-            if (observer_) {
-                // A jump-table switch is an indirect jump (forward
-                // edge); surviving ones are unhardened by definition.
-                observer_->onIndirectBranch(inst.addr, inst.fwd_scheme,
-                                            bt.start_addr, btb_);
-            }
-            if constexpr (Timing) {
-                const uint64_t predicted = btb_.predict(inst.addr);
-                btb_.update(inst.addr, bt.start_addr);
-                if (predicted == bt.start_addr) {
-                    cycles += params_.cost_icall_predicted;
-                } else {
-                    ++stats_.btb_mispredicts;
-                    cycles += params_.cost_icall_mispredict;
-                }
-            }
-            pc = bt.code_index;
-            if constexpr (Timing)
-                fetchRange(bt.start_addr, bt.end_addr);
-            break;
-          }
-        }
-    }
+#define PIBE_INTERP_THREADED 0
+#include "uarch/interp_loop.inc"
+#undef PIBE_INTERP_THREADED
 }
+
+#if PIBE_HAS_COMPUTED_GOTO
+
+template <bool Timing>
+int64_t
+Simulator::runLoopThreaded()
+{
+#define PIBE_INTERP_THREADED 1
+#include "uarch/interp_loop.inc"
+#undef PIBE_INTERP_THREADED
+}
+
+#else // !PIBE_HAS_COMPUTED_GOTO
+
+template <bool Timing>
+int64_t
+Simulator::runLoopThreaded()
+{
+    return runLoopSwitch<Timing>();
+}
+
+#endif // PIBE_HAS_COMPUTED_GOTO
 
 } // namespace pibe::uarch

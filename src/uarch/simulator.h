@@ -67,6 +67,13 @@ struct RunStats
     uint64_t js_learning = 0; ///< Executions in learning mode.
     uint64_t max_call_depth = 0;
     uint64_t peak_frame_slots = 0; ///< Peak stack usage (slots).
+    /**
+     * Superinstructions executed, per FusedFamily — decoded-path-only
+     * diagnostics (the reference loop has no fusion). Deliberately NOT
+     * part of the golden-stats comparison set: fusion coverage is
+     * observability, not architecture.
+     */
+    std::array<uint64_t, kNumFusedFamilies> fused{};
 };
 
 /**
@@ -79,6 +86,27 @@ struct RunStats
 class Simulator
 {
   public:
+    /**
+     * How run() dispatches decoded instructions. Both modes execute
+     * the same handler bodies (one shared include) and produce
+     * bit-identical stats; they differ only in dispatch overhead.
+     */
+    enum class DispatchMode : uint8_t {
+        kThreaded, ///< Direct-threaded computed goto (GCC/Clang).
+        kSwitch,   ///< Portable switch-on-opcode loop.
+    };
+
+    /** False when the build has no computed-goto support (or was
+     *  configured with -DPIBE_DISPATCH=switch): threaded mode is then
+     *  unavailable and every simulator runs the switch loop. */
+    static bool threadedDispatchAvailable();
+
+    /**
+     * Process-wide default: kThreaded when available, unless the
+     * PIBE_DISPATCH environment variable says "switch" (read once).
+     */
+    static DispatchMode defaultDispatchMode();
+
     explicit Simulator(const ir::Module& module,
                        const CostParams& params = {});
 
@@ -137,6 +165,17 @@ class Simulator
      * microbenchmark.
      */
     void setUseReferencePath(bool use) { use_reference_ = use; }
+
+    /**
+     * Select the decoded-path dispatch mode for this simulator.
+     * Requests for kThreaded are clamped to kSwitch when threaded
+     * dispatch is unavailable, so dispatchMode() always reports what
+     * actually runs.
+     */
+    void setDispatchMode(DispatchMode mode);
+    DispatchMode dispatchMode() const { return dispatch_; }
+    /** "threaded" or "switch" (benchmark provenance stamps). */
+    const char* dispatchModeName() const;
 
     /** Running hash of all kSink values — the observable behaviour of
      *  an execution; equal hashes mean equivalent observed effects. */
@@ -225,9 +264,15 @@ class Simulator
     bool beginRun(ir::FuncId entry, size_t num_args);
 
     // Decoded path ----------------------------------------------------
-    /** The decoded hot loop, specialized on the timing model so the
-     *  functional path carries no per-instruction timing branches. */
-    template <bool Timing> int64_t runLoop();
+    /**
+     * The decoded hot loop, specialized on the timing model so the
+     * functional path carries no per-instruction timing branches, in
+     * two dispatch flavors sharing one handler-body include
+     * (interp_ops.inc). runLoopThreaded falls back to the switch body
+     * when the compiler has no computed goto.
+     */
+    template <bool Timing> int64_t runLoopThreaded();
+    template <bool Timing> int64_t runLoopSwitch();
     void enterDecoded(ir::FuncId f, ir::Reg ret_dst,
                       uint64_t ret_addr);
     void leaveDecoded(int64_t value);
@@ -260,6 +305,7 @@ class Simulator
     SpeculationObserver* observer_ = nullptr;
     bool timing_ = true;
     bool use_reference_ = false;
+    DispatchMode dispatch_ = defaultDispatchMode();
 
     RunStats stats_;
     uint64_t sink_hash_ = 0x9dc5;

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Perf smoke gate: fail if the freshly measured interpreter throughput
+# regresses more than 10% below the checked-in baseline.
+#
+#   tools/check_perf_baseline.sh NEW.json [BASELINE.json]
+#
+# Both files are BENCH_interpreter.json artifacts (written by
+# `microbench_interpreter --interpreter-json`); the gated metric is
+# decoded_minstr_per_s, the peak-window throughput of the threaded
+# fused engine. BASELINE defaults to the BENCH_interpreter.json
+# committed at the repo root.
+#
+# The 10% margin absorbs run-to-run noise on shared CI runners (the
+# benchmark itself already reports a peak window, which removes most
+# scheduler-induced variance); a real dispatch-loop regression shows
+# up far larger than that.
+set -euo pipefail
+
+NEW="${1:?usage: check_perf_baseline.sh NEW.json [BASELINE.json]}"
+BASELINE="${2:-$(dirname "$0")/../BENCH_interpreter.json}"
+MARGIN="${PIBE_PERF_MARGIN:-0.90}"
+
+extract() {
+    python3 - "$1" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    print(json.load(f)["decoded_minstr_per_s"])
+EOF
+}
+
+new_rate=$(extract "$NEW")
+base_rate=$(extract "$BASELINE")
+
+python3 - "$new_rate" "$base_rate" "$MARGIN" <<'EOF'
+import sys
+new, base, margin = map(float, sys.argv[1:4])
+floor = base * margin
+print(f"decoded_minstr_per_s: measured {new:.1f}, "
+      f"baseline {base:.1f}, floor {floor:.1f} "
+      f"({margin:.0%} of baseline)")
+if new < floor:
+    print("FAIL: interpreter throughput regressed "
+          f"{(1 - new / base):.1%} below the checked-in baseline",
+          file=sys.stderr)
+    sys.exit(1)
+print("OK")
+EOF

@@ -14,6 +14,7 @@
  *                            jumpswitches] [--report]
  *   pibe measure  -m image.pir [--baseline base.pir] [--test NAME]
  *                 [--jobs N] [--cache-dir DIR] [--decode-stats]
+ *                 [--decode-stats-json FILE]
  *   pibe attack   -m image.pir [--kind spectre-v2|ret2spec|lvi]
  *   pibe stats    -m file.pir
  *   pibe check    -m file.pir [-p prof.txt] [--defense NAME]
@@ -32,6 +33,8 @@
  *                 [--tcp PORT] [--save-text FILE]
  *   pibe selftest            (end-to-end smoke of all subcommands)
  */
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -296,7 +299,10 @@ cmdMeasure(Args& args)
     unsigned jobs = static_cast<unsigned>(
         std::stoul(args.get("--jobs", "1")));
     std::string cache_dir = args.get("--cache-dir");
-    const bool decode_stats = args.has("--decode-stats");
+    const std::string decode_stats_json =
+        args.get("--decode-stats-json");
+    const bool decode_stats =
+        args.has("--decode-stats") || !decode_stats_json.empty();
 
     using Clock = std::chrono::steady_clock;
     const Clock::time_point decode_t0 = Clock::now();
@@ -339,6 +345,8 @@ cmdMeasure(Args& args)
     std::vector<double> base_lat(tests.size());
     std::vector<uint64_t> run_insts(tests.size());
     std::vector<double> run_ms(tests.size());
+    std::vector<std::array<uint64_t, uarch::kNumFusedFamilies>>
+        run_fused(tests.size());
     runtime::JobGraph graph;
     for (size_t i = 0; i < tests.size(); ++i) {
         graph.add("measure:" + tests[i],
@@ -354,6 +362,7 @@ cmdMeasure(Args& args)
                                       .count();
                       lat[i] = meas.latency_us;
                       run_insts[i] = meas.stats.instructions;
+                      run_fused[i] = meas.stats.fused;
                   });
         if (base_mod) {
             graph.add("baseline:" + tests[i],
@@ -415,6 +424,122 @@ cmdMeasure(Args& args)
         dt.addRow({"decoded insts",
                    std::to_string(decoded->code().size()), "-", "-"});
         std::printf("\ndecode stats:\n%s", dt.render().c_str());
+
+        // The evidence the superinstruction set was selected from:
+        // static opcode and intra-block digram histograms, plus how
+        // often each fusion family fired statically (rewritten sites)
+        // and dynamically (superinstruction executions summed over
+        // the measured workloads).
+        const uarch::DecodeStats& ds = decoded->decodeStats();
+        Table ot({"opcode", "static count"});
+        for (size_t o = 0; o < uarch::kNumIrOpcodes; ++o) {
+            if (ds.op_count[o] == 0)
+                continue;
+            ot.addRow({ir::opcodeName(static_cast<ir::Opcode>(o)),
+                       std::to_string(ds.op_count[o])});
+        }
+        std::printf("\nopcode histogram:\n%s", ot.render().c_str());
+
+        struct Digram
+        {
+            uint64_t n;
+            size_t a, b;
+        };
+        std::vector<Digram> digrams;
+        for (size_t a = 0; a < uarch::kNumIrOpcodes; ++a)
+            for (size_t b = 0; b < uarch::kNumIrOpcodes; ++b)
+                if (ds.digram[a][b] > 0)
+                    digrams.push_back({ds.digram[a][b], a, b});
+        std::sort(digrams.begin(), digrams.end(),
+                  [](const Digram& x, const Digram& y) {
+                      return x.n > y.n;
+                  });
+        Table gt({"digram", "static count"});
+        for (size_t i = 0; i < digrams.size() && i < 12; ++i) {
+            gt.addRow(
+                {std::string(ir::opcodeName(
+                     static_cast<ir::Opcode>(digrams[i].a))) +
+                     "+" +
+                     ir::opcodeName(
+                         static_cast<ir::Opcode>(digrams[i].b)),
+                 std::to_string(digrams[i].n)});
+        }
+        std::printf("\ntop intra-block digrams:\n%s",
+                    gt.render().c_str());
+
+        std::array<uint64_t, uarch::kNumFusedFamilies> fused_execs{};
+        for (const auto& per_test : run_fused)
+            for (size_t f = 0; f < uarch::kNumFusedFamilies; ++f)
+                fused_execs[f] += per_test[f];
+        Table ft({"fused family", "static sites", "dynamic execs"});
+        for (size_t f = 0; f < uarch::kNumFusedFamilies; ++f) {
+            ft.addRow({uarch::fusedFamilyName(
+                           static_cast<uarch::FusedFamily>(f)),
+                       std::to_string(ds.fused_sites[f]),
+                       std::to_string(fused_execs[f])});
+        }
+        ft.addSeparator();
+        ft.addRow({"total pairs", std::to_string(ds.fused_pairs),
+                   "-"});
+        std::printf("\nsuperinstruction fusion:\n%s",
+                    ft.render().c_str());
+
+        if (!decode_stats_json.empty()) {
+            std::FILE* out = std::fopen(decode_stats_json.c_str(),
+                                        "w");
+            if (!out)
+                PIBE_FATAL("cannot write ", decode_stats_json);
+            std::fprintf(out, "{\n");
+            std::fprintf(out, "  \"decode_ms\": %.3f,\n", decode_ms);
+            std::fprintf(out, "  \"decoded_insts\": %zu,\n",
+                         decoded->code().size());
+            std::fprintf(out, "  \"decoded_bytes\": %zu,\n",
+                         decoded->decodedBytes());
+            std::fprintf(out, "  \"opcodes\": {");
+            bool first = true;
+            for (size_t o = 0; o < uarch::kNumIrOpcodes; ++o) {
+                if (ds.op_count[o] == 0)
+                    continue;
+                std::fprintf(
+                    out, "%s\n    \"%s\": %llu", first ? "" : ",",
+                    ir::opcodeName(static_cast<ir::Opcode>(o)),
+                    static_cast<unsigned long long>(ds.op_count[o]));
+                first = false;
+            }
+            std::fprintf(out, "\n  },\n");
+            std::fprintf(out, "  \"digrams\": {");
+            first = true;
+            for (const Digram& d : digrams) {
+                std::fprintf(
+                    out, "%s\n    \"%s+%s\": %llu", first ? "" : ",",
+                    ir::opcodeName(static_cast<ir::Opcode>(d.a)),
+                    ir::opcodeName(static_cast<ir::Opcode>(d.b)),
+                    static_cast<unsigned long long>(d.n));
+                first = false;
+            }
+            std::fprintf(out, "\n  },\n");
+            std::fprintf(out, "  \"fused_families\": [\n");
+            for (size_t f = 0; f < uarch::kNumFusedFamilies; ++f) {
+                std::fprintf(
+                    out,
+                    "    {\"family\": \"%s\", \"static_sites\": "
+                    "%llu, \"dynamic_execs\": %llu}%s\n",
+                    uarch::fusedFamilyName(
+                        static_cast<uarch::FusedFamily>(f)),
+                    static_cast<unsigned long long>(
+                        ds.fused_sites[f]),
+                    static_cast<unsigned long long>(fused_execs[f]),
+                    f + 1 < uarch::kNumFusedFamilies ? "," : "");
+            }
+            std::fprintf(out, "  ],\n");
+            std::fprintf(out, "  \"fused_static_pairs\": %llu\n",
+                         static_cast<unsigned long long>(
+                             ds.fused_pairs));
+            std::fprintf(out, "}\n");
+            std::fclose(out);
+            std::printf("decode stats json -> %s\n",
+                        decode_stats_json.c_str());
+        }
     }
     return 0;
 }

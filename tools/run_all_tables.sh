@@ -95,8 +95,29 @@ done
     --op shutdown > /dev/null
 wait "$SERVE_PID"
 
+# Provenance stamp: every BENCH_*.json records where its numbers came
+# from, so checked-in baselines are auditable. The dispatch mode is
+# read back from the interpreter artifact (the binary knows which
+# engine it actually ran).
+GIT_SHA=$(git -C "$(dirname "$0")/.." rev-parse --short HEAD \
+    2>/dev/null || echo unknown)
+CPU_MODEL=$(awk -F': ' '/model name/ { print $2; exit }' \
+    /proc/cpuinfo 2>/dev/null || echo unknown)
+CXX_ID=$("${CXX:-c++}" --version 2>/dev/null | head -1 || echo unknown)
+DISPATCH=$(python3 -c 'import json, sys
+print(json.load(open(sys.argv[1]))["provenance"]["dispatch_mode"])' \
+    "$INTERP_JSON" 2>/dev/null || echo unknown)
+STAMP_UTC=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
 {
     echo "{"
+    echo "  \"provenance\": {"
+    echo "    \"git_sha\": \"$GIT_SHA\","
+    echo "    \"compiler\": \"$CXX_ID\","
+    echo "    \"cpu\": \"$CPU_MODEL\","
+    echo "    \"dispatch_mode\": \"$DISPATCH\","
+    echo "    \"timestamp_utc\": \"$STAMP_UTC\""
+    echo "  },"
     echo "  \"jobs\": $JOBS,"
     echo "  \"serial_wall_s\": $(awk -v ms="$serial_ms" \
         'BEGIN { printf "%.3f", ms / 1000 }'),"
