@@ -70,6 +70,20 @@ instByteSize(const ir::Instruction& inst)
     return 4;
 }
 
+uint64_t
+imageSizeOf(const ir::Module& module)
+{
+    uint64_t cursor = kSharedThunkBytes;
+    for (const ir::Function& f : module.functions()) {
+        cursor = (cursor + kFuncAlign - 1) & ~(kFuncAlign - 1);
+        for (const ir::BasicBlock& bb : f.blocks) {
+            for (const auto& inst : bb.insts)
+                cursor += instByteSize(inst);
+        }
+    }
+    return cursor;
+}
+
 CodeLayout::CodeLayout(const ir::Module& module)
 {
     funcs_.resize(module.numFunctions());

@@ -26,6 +26,15 @@ namespace pibe::analysis {
  */
 uint32_t instByteSize(const ir::Instruction& inst);
 
+/**
+ * Total image size of `module` in bytes (code plus shared thunks) —
+ * identical to CodeLayout(module).imageSize(), computed in a single
+ * streaming walk without materializing per-instruction offset tables.
+ * Use this when only the size is needed (size curves over 10^6-inst
+ * modules): memory stays O(1) instead of O(insts).
+ */
+uint64_t imageSizeOf(const ir::Module& module);
+
 /** Byte layout of a module's code image. */
 class CodeLayout
 {

@@ -9,6 +9,8 @@ AnalysisManager::cfg(ir::FuncId f)
     if (!e.cfg) {
         e.cfg = std::make_unique<Cfg>(module_.func(f));
         ++computations_;
+    } else {
+        ++hits_;
     }
     return *e.cfg;
 }
@@ -20,6 +22,8 @@ AnalysisManager::domTree(ir::FuncId f)
     if (!e.dom) {
         e.dom = std::make_unique<DomTree>(cfg(f));
         ++computations_;
+    } else {
+        ++hits_;
     }
     return *e.dom;
 }
@@ -31,6 +35,8 @@ AnalysisManager::liveness(ir::FuncId f)
     if (!e.live) {
         e.live = std::make_unique<Liveness>(module_.func(f), cfg(f));
         ++computations_;
+    } else {
+        ++hits_;
     }
     return *e.live;
 }
@@ -43,6 +49,8 @@ AnalysisManager::frameLiveness(ir::FuncId f)
         e.frame_live =
             std::make_unique<FrameLiveness>(module_.func(f), cfg(f));
         ++computations_;
+    } else {
+        ++hits_;
     }
     return *e.frame_live;
 }
@@ -55,6 +63,8 @@ AnalysisManager::reachingDefs(ir::FuncId f)
         e.reaching =
             std::make_unique<ReachingDefs>(module_.func(f), cfg(f));
         ++computations_;
+    } else {
+        ++hits_;
     }
     return *e.reaching;
 }
@@ -67,6 +77,8 @@ AnalysisManager::definiteAssignment(ir::FuncId f)
         e.assigned = std::make_unique<DefiniteAssignment>(module_.func(f),
                                                           cfg(f));
         ++computations_;
+    } else {
+        ++hits_;
     }
     return *e.assigned;
 }

@@ -43,8 +43,9 @@ class AnalysisManager
     void
     invalidate(ir::FuncId f)
     {
-        PIBE_ASSERT(f < entries_.size(), "invalidate: bad FuncId ", f);
-        entries_[f] = Entry{};
+        // Functions added after construction have nothing cached yet.
+        if (f < entries_.size())
+            entries_[f] = Entry{};
     }
 
     /** Drop all cached analyses (call after a module-wide pass). */
@@ -57,6 +58,9 @@ class AnalysisManager
 
     /** Analyses computed since construction (cache-miss counter). */
     size_t computations() const { return computations_; }
+
+    /** Cached results served since construction (cache-hit counter). */
+    size_t hits() const { return hits_; }
 
   private:
     struct Entry
@@ -72,15 +76,21 @@ class AnalysisManager
     Entry&
     entry(ir::FuncId f)
     {
-        PIBE_ASSERT(f < entries_.size(), "bad FuncId ", f);
+        PIBE_ASSERT(f < module_.numFunctions(), "bad FuncId ", f);
         PIBE_ASSERT(!module_.func(f).isDeclaration(),
                     "analysis of declaration ", module_.func(f).name);
+        // Passes may add functions (ICP continuation splits never do,
+        // but future passes might); grow rather than assert so one
+        // manager can span a whole pass pipeline.
+        if (f >= entries_.size())
+            entries_.resize(module_.numFunctions());
         return entries_[f];
     }
 
     const ir::Module& module_;
     std::vector<Entry> entries_;
     size_t computations_ = 0;
+    size_t hits_ = 0;
 };
 
 } // namespace pibe::check

@@ -29,9 +29,9 @@ StageResult::firstFreshError() const
 const StageResult&
 PassSandwich::afterPass(const std::string& pass,
                         const ir::Module& module,
-                        const CheckOptions& opts)
+                        const CheckOptions& opts, AnalysisManager* am)
 {
-    CheckReport report = runChecks(module, opts);
+    CheckReport report = runChecks(module, opts, am);
 
     StageResult stage;
     stage.pass = pass;

@@ -48,10 +48,16 @@ class PassSandwich
      * Run the suite over `module` with `opts` and record the stage.
      * The first call establishes the baseline: its findings are all
      * "fresh" but never count as a regression.
+     *
+     * When `am` is provided the suite reuses its cached per-function
+     * analyses — the incremental contract: the caller invalidates
+     * exactly the functions the preceding pass touched, so untouched
+     * functions are re-audited from cache instead of recomputed.
      */
     const StageResult& afterPass(const std::string& pass,
                                  const ir::Module& module,
-                                 const CheckOptions& opts);
+                                 const CheckOptions& opts,
+                                 AnalysisManager* am = nullptr);
 
     const std::vector<StageResult>& stages() const { return stages_; }
 

@@ -111,8 +111,56 @@ returnSchemeFor(const DefenseConfig& config)
     return ir::RetScheme::kNone;
 }
 
+namespace {
+
+/**
+ * Tag the indirect branches of one function with the schemes implied
+ * by `config` and lower its jump tables. Returns the number of
+ * switches lowered; `*changed` is set if anything was mutated.
+ */
+uint32_t
+hardenOneFunction(ir::Function& f, const DefenseConfig& config,
+                  bool* changed)
+{
+    const uint32_t lowered = opt::lowerJumpTablesInFunction(f);
+    if (lowered > 0)
+        *changed = true;
+
+    const ir::FwdScheme fwd = forwardSchemeFor(config);
+    const ir::RetScheme bwd = returnSchemeFor(config);
+    const bool boot = f.hasAttr(ir::kAttrBootSection);
+    for (auto& bb : f.blocks) {
+        for (auto& inst : bb.insts) {
+            switch (inst.op) {
+              case ir::Opcode::kICall:
+                if (inst.is_asm)
+                    break; // cannot rewrite inline assembly
+                if (inst.fwd_scheme != fwd) {
+                    inst.fwd_scheme = fwd;
+                    *changed = true;
+                }
+                break;
+              case ir::Opcode::kRet:
+                if (boot)
+                    break; // boot-only returns stay plain
+                if (inst.ret_scheme != bwd) {
+                    inst.ret_scheme = bwd;
+                    *changed = true;
+                }
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    return lowered;
+}
+
+} // namespace
+
 CoverageReport
-applyDefenses(ir::Module& module, const DefenseConfig& config)
+applyDefenses(ir::Module& module, const DefenseConfig& config,
+              std::vector<ir::FuncId>* touched)
 {
     CoverageReport report;
     if (!config.any())
@@ -120,35 +168,26 @@ applyDefenses(ir::Module& module, const DefenseConfig& config)
 
     // Jump tables are disabled whenever transient defenses are on
     // (the default LLVM behaviour under retpolines/LVI, §5.1).
-    report.lowered_switches = opt::lowerJumpTables(module);
-
-    const ir::FwdScheme fwd = forwardSchemeFor(config);
-    const ir::RetScheme bwd = returnSchemeFor(config);
-
     for (ir::Function& f : module.functions()) {
-        const bool boot = f.hasAttr(ir::kAttrBootSection);
-        for (auto& bb : f.blocks) {
-            for (auto& inst : bb.insts) {
-                switch (inst.op) {
-                  case ir::Opcode::kICall:
-                    if (inst.is_asm)
-                        break; // cannot rewrite inline assembly
-                    inst.fwd_scheme = fwd;
-                    break;
-                  case ir::Opcode::kRet:
-                    if (boot)
-                        break; // boot-only returns stay plain
-                    inst.ret_scheme = bwd;
-                    break;
-                  default:
-                    break;
-                }
-            }
-        }
+        bool changed = false;
+        report.lowered_switches += hardenOneFunction(f, config, &changed);
+        if (changed && touched)
+            touched->push_back(f.id);
     }
     CoverageReport final_report = analyzeCoverage(module);
     final_report.lowered_switches = report.lowered_switches;
     return final_report;
+}
+
+bool
+applyDefensesToFunction(ir::Module& module, ir::FuncId func,
+                        const DefenseConfig& config)
+{
+    if (!config.any())
+        return false;
+    bool changed = false;
+    hardenOneFunction(module.func(func), config, &changed);
+    return changed;
 }
 
 CoverageReport

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "ir/module.h"
 
@@ -96,9 +97,24 @@ struct CoverageReport
 /**
  * Apply `config` to every indirect branch of `module` (tagging schemes
  * and lowering jump tables when any defense is on). Returns the
- * coverage report.
+ * coverage report. When `touched` is non-null it receives the ids of
+ * every function that was actually mutated (a scheme tagged or a
+ * switch lowered), sorted and unique — the incremental invalidation
+ * set for a following check stage.
  */
 CoverageReport applyDefenses(ir::Module& module,
+                             const DefenseConfig& config,
+                             std::vector<ir::FuncId>* touched = nullptr);
+
+/**
+ * Apply `config` to the indirect branches of one function: lower its
+ * jump tables and tag its kICall/kRet sites. Only `func` is mutated,
+ * so distinct functions may be hardened concurrently; the result is
+ * independent of function order, and running it over every function
+ * equals applyDefenses(). Returns true if the function changed.
+ * No-op (returns false) when no defense is enabled.
+ */
+bool applyDefensesToFunction(ir::Module& module, ir::FuncId func,
                              const DefenseConfig& config);
 
 /** Recompute coverage of an already-hardened module. */

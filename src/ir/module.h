@@ -38,6 +38,7 @@ using GlobalId = uint32_t;
 using SiteId = uint32_t;
 
 constexpr FuncId kInvalidFunc = 0xffffffffu;
+constexpr GlobalId kInvalidGlobal = 0xffffffffu;
 constexpr Reg kNoReg = 0xffffffffu;
 constexpr SiteId kNoSite = 0xffffffffu;
 
@@ -314,6 +315,14 @@ class Module
     {
         auto it = func_by_name_.find(name);
         return it == func_by_name_.end() ? kInvalidFunc : it->second;
+    }
+
+    /** Look up a global id by name; kInvalidGlobal if absent. */
+    GlobalId
+    findGlobal(const std::string& name) const
+    {
+        auto it = global_by_name_.find(name);
+        return it == global_by_name_.end() ? kInvalidGlobal : it->second;
     }
 
     size_t numFunctions() const { return functions_.size(); }

@@ -382,11 +382,13 @@ class ModuleParser
     resolveGlobal(LineCursor& cur)
     {
         std::string name = cur.parseName();
-        for (GlobalId g = 0; g < module_.numGlobals(); ++g) {
-            if (module_.global(g).name == name)
-                return g;
-        }
-        cur.fail("unknown global '@" + name + "'");
+        // Hashed lookup: the old linear scan over numGlobals() was
+        // quadratic on generated modules, where thousands of op-table
+        // globals are each referenced by many icall loads.
+        GlobalId g = module_.findGlobal(name);
+        if (g == kInvalidGlobal)
+            cur.fail("unknown global '@" + name + "'");
+        return g;
     }
 
     Instruction

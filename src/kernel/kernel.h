@@ -35,6 +35,18 @@
 
 namespace pibe::kernel {
 
+/**
+ * Conventional entry-point symbol names. Shared by the hand-built
+ * synthetic kernel, the Linux-scale generator (src/scale), and the
+ * profile-flow audit's default root set — any module using these names
+ * is drivable and auditable by the standard tooling.
+ */
+constexpr const char* kKernelInitName = "kernel_init";
+constexpr const char* kSysDispatchName = "sys_dispatch";
+/** Conventional global names recovered by kernelInfoFromModule(). */
+constexpr const char* kKmemName = "kmem";
+constexpr const char* kSyscallTableName = "syscall_table";
+
 /** Synthetic kernel build parameters. */
 struct KernelConfig
 {

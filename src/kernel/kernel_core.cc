@@ -389,10 +389,10 @@ KernelBuilder::declareCore()
                   sysno::kCount);
     for (const char* s : kSysNames)
         declare(s, 3);
-    info_.sys_dispatch = declare("sys_dispatch", 4);
+    info_.sys_dispatch = declare(kSysDispatchName, 4);
 
     // boot
-    info_.kernel_init = declare("kernel_init", 0, ir::kAttrBootSection);
+    info_.kernel_init = declare(kKernelInitName, 0, ir::kAttrBootSection);
     declare("init_vfs", 0, ir::kAttrBootSection);
     declare("init_net", 0, ir::kAttrBootSection);
     declare("init_tasks", 0, ir::kAttrBootSection);
@@ -402,7 +402,7 @@ KernelBuilder::declareCore()
 void
 KernelBuilder::createGlobals()
 {
-    kmem_ = m_.addGlobal("kmem",
+    kmem_ = m_.addGlobal(kKmemName,
                          std::vector<int64_t>(cfg_.kmem_slots, 0));
     info_.kmem = kmem_;
 
@@ -420,7 +420,7 @@ KernelBuilder::createGlobals()
         };
         for (size_t i = 0; i < sysno::kCount; ++i)
             table[i] = ir::funcAddrValue(fn(kSysNames[i]));
-        sys_table_ = m_.addGlobal("syscall_table", std::move(table));
+        sys_table_ = m_.addGlobal(kSyscallTableName, std::move(table));
         info_.syscall_table = sys_table_;
     }
 
@@ -1459,8 +1459,8 @@ KernelInfo
 kernelInfoFromModule(const ir::Module& module)
 {
     KernelInfo info;
-    info.sys_dispatch = module.findFunction("sys_dispatch");
-    info.kernel_init = module.findFunction("kernel_init");
+    info.sys_dispatch = module.findFunction(kSysDispatchName);
+    info.kernel_init = module.findFunction(kKernelInitName);
     if (info.sys_dispatch == ir::kInvalidFunc ||
         info.kernel_init == ir::kInvalidFunc) {
         PIBE_FATAL("module is not a synthetic kernel "
@@ -1468,11 +1468,11 @@ kernelInfoFromModule(const ir::Module& module)
     }
     bool found_kmem = false;
     for (ir::GlobalId g = 0; g < module.numGlobals(); ++g) {
-        if (module.global(g).name == "kmem") {
+        if (module.global(g).name == kKmemName) {
             info.kmem = g;
             found_kmem = true;
         }
-        if (module.global(g).name == "syscall_table")
+        if (module.global(g).name == kSyscallTableName)
             info.syscall_table = g;
     }
     if (!found_kmem)

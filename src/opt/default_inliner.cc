@@ -121,6 +121,7 @@ runDefaultInliner(ir::Module& module, profile::EdgeProfile& profile,
                     ++audit.inlined_sites;
                     audit.inlined_weight += weight;
                     audit.eligible_weight += weight;
+                    audit.touched.push_back(caller_id);
 
                     const uint64_t callee_inv = orig_invocations[callee];
                     for (const InheritedSite& inh : outcome.inherited) {
@@ -157,11 +158,19 @@ runDefaultInliner(ir::Module& module, profile::EdgeProfile& profile,
             }
         }
         if (config.cleanup_callers) {
+            // Cleanup can mutate callers nothing was inlined into
+            // (e.g. removing pre-existing dead stores), so every
+            // cleaned caller belongs in the invalidation set.
             cleanupFunction(caller);
             costs.invalidate(caller_id);
+            audit.touched.push_back(caller_id);
         }
     }
 
+    std::sort(audit.touched.begin(), audit.touched.end());
+    audit.touched.erase(
+        std::unique(audit.touched.begin(), audit.touched.end()),
+        audit.touched.end());
     return audit;
 }
 

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <iterator>
-#include <map>
-#include <vector>
 
 #include "support/logging.h"
 
@@ -18,22 +16,25 @@ struct PromotionCandidate
     uint64_t count = 0;
 };
 
-/** Locate the kICall instruction carrying `site`. */
+/**
+ * Locate the kICall instruction carrying `site` within one function.
+ * (Scanning only the owning function instead of the whole module is
+ * what keeps promotion O(sites x function-size) rather than
+ * O(sites x module-size) — the module-wide rescan per promoted site
+ * was the pipeline's superlinear hot spot at 10^6 instructions.)
+ */
 bool
-findICall(ir::Module& module, ir::SiteId site, ir::FuncId* func,
-          ir::BlockId* block, uint32_t* index)
+findICall(ir::Function& f, ir::SiteId site, ir::BlockId* block,
+          uint32_t* index)
 {
-    for (ir::Function& f : module.functions()) {
-        for (ir::BlockId b = 0; b < f.blocks.size(); ++b) {
-            auto& insts = f.blocks[b].insts;
-            for (uint32_t i = 0; i < insts.size(); ++i) {
-                if (insts[i].site_id == site &&
-                    insts[i].op == ir::Opcode::kICall) {
-                    *func = f.id;
-                    *block = b;
-                    *index = i;
-                    return true;
-                }
+    for (ir::BlockId b = 0; b < f.blocks.size(); ++b) {
+        auto& insts = f.blocks[b].insts;
+        for (uint32_t i = 0; i < insts.size(); ++i) {
+            if (insts[i].site_id == site &&
+                insts[i].op == ir::Opcode::kICall) {
+                *block = b;
+                *index = i;
+                return true;
             }
         }
     }
@@ -43,16 +44,20 @@ findICall(ir::Module& module, ir::SiteId site, ir::FuncId* func,
 /**
  * Rewrite one indirect call site into a chain of guarded direct calls
  * (hottest target first) with the original indirect call as fallback.
- * Returns the fresh site ids of the direct calls, aligned with
- * `targets`.
+ * The direct calls take their pre-assigned ids from `direct_sites`
+ * (aligned with `targets`); no allocator access, so rewrites of
+ * distinct functions are safe to run concurrently.
  */
-std::vector<ir::SiteId>
-promoteSite(ir::Module& module, ir::FuncId func_id, ir::BlockId bb_id,
-            uint32_t idx, const std::vector<ir::FuncId>& targets)
+void
+promoteSite(ir::Function& f, ir::BlockId bb_id, uint32_t idx,
+            const std::vector<ir::FuncId>& targets,
+            const std::vector<ir::SiteId>& direct_sites)
 {
-    ir::Function& f = module.func(func_id);
+    PIBE_ASSERT(targets.size() == direct_sites.size(),
+                "promoteSite: targets/sites misaligned");
     const ir::Instruction icall = f.blocks[bb_id].insts[idx];
-    PIBE_ASSERT(icall.op == ir::Opcode::kICall, "promoteSite: not an icall");
+    PIBE_ASSERT(icall.op == ir::Opcode::kICall,
+                "promoteSite: not an icall");
 
     // Continuation block receives everything after the icall.
     const ir::BlockId cont =
@@ -66,9 +71,9 @@ promoteSite(ir::Module& module, ir::FuncId func_id, ir::BlockId bb_id,
         src.resize(idx);
     }
 
-    std::vector<ir::SiteId> direct_sites;
     ir::BlockId cur = bb_id;
-    for (ir::FuncId target : targets) {
+    for (size_t t = 0; t < targets.size(); ++t) {
+        const ir::FuncId target = targets[t];
         // cur: addr = funcaddr target; cond = (ptr == addr);
         //      condbr cond, call_block, next_block
         const ir::BlockId call_block =
@@ -106,8 +111,7 @@ promoteSite(ir::Module& module, ir::FuncId func_id, ir::BlockId bb_id,
         direct.dst = icall.dst;
         direct.callee = target;
         direct.args = icall.args;
-        direct.site_id = module.allocSiteId();
-        direct_sites.push_back(direct.site_id);
+        direct.site_id = direct_sites[t];
 
         ir::Instruction br;
         br.op = ir::Opcode::kBr;
@@ -131,17 +135,17 @@ promoteSite(ir::Module& module, ir::FuncId func_id, ir::BlockId bb_id,
         insts.push_back(std::move(fallback));
         insts.push_back(br);
     }
-
-    return direct_sites;
 }
 
 } // namespace
 
-IcpAudit
-runIcp(ir::Module& module, profile::EdgeProfile& profile,
-       const IcpConfig& config)
+IcpPlan
+planIcp(const ir::Module& module, const profile::EdgeProfile& profile,
+        const IcpConfig& config)
 {
-    IcpAudit audit;
+    IcpPlan plan;
+    IcpAudit& audit = plan.audit;
+    plan.site_id_bound = module.siteIdBound();
 
     // Count all indirect call sites (Table 10 denominator) and record
     // which sites are legal promotion subjects.
@@ -189,7 +193,7 @@ runIcp(ir::Module& module, profile::EdgeProfile& profile,
             ++audit.candidate_sites;
     }
     if (candidates.empty())
-        return audit;
+        return plan;
 
     // Greedy selection under the cumulative-weight budget, hottest
     // (site, target) pairs first.
@@ -216,32 +220,76 @@ runIcp(ir::Module& module, profile::EdgeProfile& profile,
         list.push_back(c);
     }
 
-    // Rewrite each chosen site once, hottest target first (the sort
-    // above already ordered each site's list by descending count).
+    // Pre-assign direct-call site ids in (site, target-rank) order —
+    // exactly the order a serial allocSiteId() walk would produce.
     for (auto& [site, list] : chosen) {
-        ir::FuncId func;
+        IcpSitePlan sp;
+        sp.site = site;
+        sp.func = site_owner[site];
+        for (const auto& c : list) {
+            sp.targets.push_back(c.target);
+            sp.direct_sites.push_back(plan.site_id_bound++);
+        }
+        plan.by_func[sp.func].push_back(plan.sites.size());
+        plan.sites.push_back(std::move(sp));
+    }
+    return plan;
+}
+
+void
+applyIcpFunction(ir::Module& module, ir::FuncId func, IcpPlan& plan)
+{
+    auto it = plan.by_func.find(func);
+    if (it == plan.by_func.end())
+        return;
+    ir::Function& f = module.func(func);
+    for (size_t idx : it->second) {
+        IcpSitePlan& sp = plan.sites[idx];
         ir::BlockId block;
         uint32_t index;
-        if (!findICall(module, site, &func, &block, &index))
+        // Earlier rewrites in this function move trailing sites into
+        // continuation blocks, so each site is re-located just-in-time
+        // (within this function only).
+        if (!findICall(f, sp.site, &block, &index))
             continue;
-        std::vector<ir::FuncId> targets;
-        targets.reserve(list.size());
-        for (const auto& c : list)
-            targets.push_back(c.target);
-        std::vector<ir::SiteId> direct_sites =
-            promoteSite(module, func, block, index, targets);
-        PIBE_ASSERT(direct_sites.size() == list.size(),
-                    "icp: site arity mismatch");
+        promoteSite(f, block, index, sp.targets, sp.direct_sites);
+        sp.applied = true;
+    }
+}
+
+IcpAudit
+finalizeIcp(IcpPlan& plan, profile::EdgeProfile& profile)
+{
+    IcpAudit& audit = plan.audit;
+    for (IcpSitePlan& sp : plan.sites) {
+        if (!sp.applied)
+            continue;
         ++audit.promoted_sites;
-        for (size_t i = 0; i < list.size(); ++i) {
-            uint64_t moved = profile.consumeIndirect(site, list[i].target);
-            profile.addDirect(direct_sites[i], moved);
+        audit.touched.push_back(sp.func);
+        for (size_t i = 0; i < sp.targets.size(); ++i) {
+            uint64_t moved =
+                profile.consumeIndirect(sp.site, sp.targets[i]);
+            profile.addDirect(sp.direct_sites[i], moved);
             audit.promoted_weight += moved;
             ++audit.promoted_targets;
         }
     }
-
+    std::sort(audit.touched.begin(), audit.touched.end());
+    audit.touched.erase(
+        std::unique(audit.touched.begin(), audit.touched.end()),
+        audit.touched.end());
     return audit;
+}
+
+IcpAudit
+runIcp(ir::Module& module, profile::EdgeProfile& profile,
+       const IcpConfig& config)
+{
+    IcpPlan plan = planIcp(module, profile, config);
+    for (const auto& [func, indices] : plan.by_func)
+        applyIcpFunction(module, func, plan);
+    module.reserveSiteIds(plan.site_id_bound);
+    return finalizeIcp(plan, profile);
 }
 
 } // namespace pibe::opt

@@ -38,8 +38,12 @@ inlineRefusalReason(const ir::Module& module, ir::FuncId caller,
     return nullptr;
 }
 
+namespace {
+
+/** Shared implementation; `fixed_id` non-null = pre-assigned ids. */
 InlineOutcome
-inlineCallSite(ir::Module& module, ir::FuncId caller, ir::SiteId site)
+inlineImpl(ir::Module& module, ir::FuncId caller, ir::SiteId site,
+           ir::SiteId* fixed_id)
 {
     InlineOutcome outcome;
     ir::Function& caller_f = module.func(caller);
@@ -121,9 +125,12 @@ inlineCallSite(ir::Module& module, ir::FuncId caller, ir::SiteId site)
                 break;
               case ir::Opcode::kCall:
               case ir::Opcode::kICall: {
-                ir::SiteId fresh = module.allocSiteId();
+                const bool indirect = inst.op == ir::Opcode::kICall;
+                ir::SiteId fresh =
+                    fixed_id ? (*fixed_id)++ : module.allocSiteId();
                 outcome.inherited.push_back(
-                    {fresh, inst.site_id, inst.op == ir::Opcode::kICall});
+                    {fresh, inst.site_id, indirect,
+                     indirect ? ir::kInvalidFunc : inst.callee});
                 inst.site_id = fresh;
                 break;
               }
@@ -178,6 +185,21 @@ inlineCallSite(ir::Module& module, ir::FuncId caller, ir::SiteId site)
 
     outcome.ok = true;
     return outcome;
+}
+
+} // namespace
+
+InlineOutcome
+inlineCallSite(ir::Module& module, ir::FuncId caller, ir::SiteId site)
+{
+    return inlineImpl(module, caller, site, nullptr);
+}
+
+InlineOutcome
+inlineCallSiteWithIds(ir::Module& module, ir::FuncId caller,
+                      ir::SiteId site, ir::SiteId id_base)
+{
+    return inlineImpl(module, caller, site, &id_base);
 }
 
 } // namespace pibe::opt

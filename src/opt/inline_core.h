@@ -27,6 +27,10 @@ struct InheritedSite
     ir::SiteId new_site = ir::kNoSite;    ///< Fresh id in the caller.
     ir::SiteId callee_site = ir::kNoSite; ///< Original id in the callee.
     bool indirect = false;                ///< kICall rather than kCall.
+    /** Static callee of an inherited direct call (kInvalidFunc for
+     *  indirect sites) — lets policies re-queue inherited candidates
+     *  without re-scanning the caller. */
+    ir::FuncId callee = ir::kInvalidFunc;
 };
 
 /** Result of an inlineCallSite() application. */
@@ -59,6 +63,18 @@ const char* inlineRefusalReason(const ir::Module& module,
  */
 InlineOutcome inlineCallSite(ir::Module& module, ir::FuncId caller,
                              ir::SiteId site);
+
+/**
+ * As inlineCallSite(), but inherited sites take sequential ids
+ * starting at `id_base` instead of going through the module's
+ * allocator — one id per kCall/kICall of the (frozen) callee, consumed
+ * in block order. The caller pre-reserves the range, which makes
+ * applications over disjoint caller/callee pairs safe to run
+ * concurrently and their id assignment independent of scheduling.
+ */
+InlineOutcome inlineCallSiteWithIds(ir::Module& module,
+                                    ir::FuncId caller, ir::SiteId site,
+                                    ir::SiteId id_base);
 
 } // namespace pibe::opt
 

@@ -97,6 +97,9 @@ struct InlineAudit
     uint32_t inlined_sites = 0;
     /** Sites popped and considered (inlined + refused). */
     uint32_t attempted_sites = 0;
+    /** Callers mutated by the pass (sorted, unique) — the incremental
+     *  invalidation set for a following audit stage. */
+    std::vector<ir::FuncId> touched;
 };
 
 /** Run PIBE's greedy weight-ordered inliner over `module`. */

@@ -104,43 +104,49 @@ emitTree(ir::Function& f, ir::BlockId bb, ir::Reg value,
 } // namespace
 
 uint32_t
-lowerJumpTables(ir::Module& module, uint32_t linear_limit)
+lowerJumpTablesInFunction(ir::Function& f, uint32_t linear_limit)
 {
     PIBE_ASSERT(linear_limit >= 1, "linear_limit must be >= 1");
     uint32_t lowered = 0;
-    for (ir::Function& f : module.functions()) {
-        // Block count grows during lowering; only visit originals.
-        const size_t original_blocks = f.blocks.size();
-        for (size_t b = 0; b < original_blocks; ++b) {
-            if (f.blocks[b].insts.empty())
-                continue;
-            ir::Instruction term = f.blocks[b].insts.back();
-            if (term.op != ir::Opcode::kSwitch || term.is_asm)
-                continue;
-            // Sort cases by value so the binary search is well-formed.
-            std::vector<Case> cases;
-            cases.reserve(term.case_values.size());
-            for (size_t c = 0; c < term.case_values.size(); ++c)
-                cases.push_back(
-                    {term.case_values[c], term.case_targets[c]});
-            std::sort(cases.begin(), cases.end(),
-                      [](const Case& x, const Case& y) {
-                          return x.value < y.value;
-                      });
+    // Block count grows during lowering; only visit originals.
+    const size_t original_blocks = f.blocks.size();
+    for (size_t b = 0; b < original_blocks; ++b) {
+        if (f.blocks[b].insts.empty())
+            continue;
+        ir::Instruction term = f.blocks[b].insts.back();
+        if (term.op != ir::Opcode::kSwitch || term.is_asm)
+            continue;
+        // Sort cases by value so the binary search is well-formed.
+        std::vector<Case> cases;
+        cases.reserve(term.case_values.size());
+        for (size_t c = 0; c < term.case_values.size(); ++c)
+            cases.push_back({term.case_values[c], term.case_targets[c]});
+        std::sort(cases.begin(), cases.end(),
+                  [](const Case& x, const Case& y) {
+                      return x.value < y.value;
+                  });
 
-            f.blocks[b].insts.pop_back();
-            if (cases.empty()) {
-                ir::Instruction br;
-                br.op = ir::Opcode::kBr;
-                br.t0 = term.t0;
-                f.blocks[b].insts.push_back(br);
-            } else {
-                emitTree(f, static_cast<ir::BlockId>(b), term.a, cases, 0,
-                         cases.size(), term.t0, linear_limit);
-            }
-            ++lowered;
+        f.blocks[b].insts.pop_back();
+        if (cases.empty()) {
+            ir::Instruction br;
+            br.op = ir::Opcode::kBr;
+            br.t0 = term.t0;
+            f.blocks[b].insts.push_back(br);
+        } else {
+            emitTree(f, static_cast<ir::BlockId>(b), term.a, cases, 0,
+                     cases.size(), term.t0, linear_limit);
         }
+        ++lowered;
     }
+    return lowered;
+}
+
+uint32_t
+lowerJumpTables(ir::Module& module, uint32_t linear_limit)
+{
+    uint32_t lowered = 0;
+    for (ir::Function& f : module.functions())
+        lowered += lowerJumpTablesInFunction(f, linear_limit);
     return lowered;
 }
 

@@ -27,6 +27,15 @@ namespace pibe::opt {
  */
 uint32_t lowerJumpTables(ir::Module& module, uint32_t linear_limit = 4);
 
+/**
+ * Lower the non-asm kSwitch terminators of a single function. The
+ * rewrite only ever touches `f` (new blocks/registers are appended to
+ * it), so distinct functions may be lowered concurrently. Returns the
+ * number of switches lowered in `f`.
+ */
+uint32_t lowerJumpTablesInFunction(ir::Function& f,
+                                   uint32_t linear_limit = 4);
+
 /** Count kSwitch terminators remaining in the module. */
 uint32_t countSwitches(const ir::Module& module);
 

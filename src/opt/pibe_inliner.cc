@@ -176,6 +176,7 @@ runPibeInliner(ir::Module& module, profile::EdgeProfile& profile,
         }
         ++audit.inlined_sites;
         audit.inlined_weight += c.weight;
+        audit.touched.push_back(c.caller);
 
         // Constant-ratio heuristic: each call site copied from the
         // callee inherits its profiled count scaled by the ratio of
@@ -220,6 +221,10 @@ runPibeInliner(ir::Module& module, profile::EdgeProfile& profile,
         costs.invalidate(c.caller);
     }
 
+    std::sort(audit.touched.begin(), audit.touched.end());
+    audit.touched.erase(
+        std::unique(audit.touched.begin(), audit.touched.end()),
+        audit.touched.end());
     return audit;
 }
 

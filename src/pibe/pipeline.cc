@@ -20,10 +20,10 @@ namespace {
 void
 auditStage(check::PassSandwich& sandwich, const std::string& pass,
            const ir::Module& image, const check::CheckOptions& opts,
-           BuildReport& rep)
+           BuildReport& rep, check::AnalysisManager* am)
 {
     const check::StageResult& stage =
-        sandwich.afterPass(pass, image, opts);
+        sandwich.afterPass(pass, image, opts, am);
     rep.sandwich.insert(rep.sandwich.end(), stage.fresh.begin(),
                         stage.fresh.end());
     for (const check::Diagnostic& d : stage.fresh) {
@@ -56,9 +56,14 @@ buildImage(const ir::Module& linked, const profile::EdgeProfile& profile,
     BuildReport local;
     BuildReport& rep = report ? *report : local;
 
-    rep.baseline_image_size = analysis::CodeLayout(linked).imageSize();
+    rep.baseline_image_size = analysis::imageSizeOf(linked);
 
+    // One analysis cache spans the whole pass sequence. Each pass
+    // reports the functions it mutated; only those are invalidated
+    // before the next audit, so the sandwich re-derives analyses for
+    // exactly the code that changed.
     check::PassSandwich sandwich;
+    check::AnalysisManager am(image);
     auto audit = [&](const std::string& pass, bool coverage,
                      bool profile_flow) {
         if (!opt.sandwich)
@@ -72,7 +77,11 @@ buildImage(const ir::Module& linked, const profile::EdgeProfile& profile,
         // checked once, against the unmodified pipeline input.
         copts.profile_flow = profile_flow;
         copts.profile = &profile;
-        auditStage(sandwich, pass, image, copts, rep);
+        auditStage(sandwich, pass, image, copts, rep, &am);
+    };
+    auto invalidateTouched = [&](const std::vector<ir::FuncId>& touched) {
+        for (ir::FuncId f : touched)
+            am.invalidate(f);
     };
 
     audit("input", /*coverage=*/false, /*profile_flow=*/true);
@@ -83,6 +92,7 @@ buildImage(const ir::Module& linked, const profile::EdgeProfile& profile,
         opt::IcpConfig cfg;
         cfg.budget = opt.icp_budget;
         rep.icp = opt::runIcp(image, working, cfg);
+        invalidateTouched(rep.icp.touched);
         audit("icp", false, false);
     }
 
@@ -95,6 +105,7 @@ buildImage(const ir::Module& linked, const profile::EdgeProfile& profile,
         cfg.rule2_caller_threshold = opt.rule2_caller_threshold;
         cfg.rule3_callee_threshold = opt.rule3_callee_threshold;
         rep.inlining = opt::runPibeInliner(image, working, cfg);
+        invalidateTouched(rep.inlining.touched);
         audit("inline", false, false);
         break;
       }
@@ -102,6 +113,7 @@ buildImage(const ir::Module& linked, const profile::EdgeProfile& profile,
         opt::DefaultInlinerConfig cfg;
         cfg.budget = opt.inline_budget;
         rep.inlining = opt::runDefaultInliner(image, working, cfg);
+        invalidateTouched(rep.inlining.touched);
         audit("inline", false, false);
         break;
       }
@@ -111,13 +123,18 @@ buildImage(const ir::Module& linked, const profile::EdgeProfile& profile,
 
     if (opt.module_cleanup) {
         opt::cleanupModule(image);
+        am.invalidateAll(); // module-wide pass: everything changed
         audit("cleanup", false, false);
     }
 
-    rep.coverage = harden::applyDefenses(image, defenses);
+    std::vector<ir::FuncId> harden_touched;
+    rep.coverage = harden::applyDefenses(image, defenses, &harden_touched);
+    invalidateTouched(harden_touched);
     audit("harden", /*coverage=*/true, /*profile_flow=*/false);
 
-    rep.image_size = analysis::CodeLayout(image).imageSize();
+    rep.analyses_computed = am.computations();
+    rep.analyses_reused = am.hits();
+    rep.image_size = analysis::imageSizeOf(image);
     rep.final_profile = std::move(working);
 
     if (!opt.sandwich)

@@ -104,6 +104,16 @@ struct BuildReport
     harden::CoverageReport coverage;
     uint64_t image_size = 0;          ///< Bytes after all passes.
     uint64_t baseline_image_size = 0; ///< Bytes of the input module.
+    /**
+     * Incremental-audit effectiveness (sandwich mode only): analyses
+     * recomputed vs. served from cache across all sandwich stages. The
+     * pipeline keeps one check::AnalysisManager alive for the whole
+     * pass sequence and invalidates exactly the functions each pass
+     * reports as touched, so functions no pass mutated are audited
+     * from cache at every stage.
+     */
+    size_t analyses_computed = 0;
+    size_t analyses_reused = 0;
     /** The profile as transformed by the passes (promoted weights
      *  moved to direct edges, inherited sites added). */
     profile::EdgeProfile final_profile;

@@ -1,0 +1,539 @@
+#include "scale/parallel_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+#include "analysis/call_graph.h"
+#include "analysis/inline_cost.h"
+#include "analysis/layout.h"
+#include "ir/verifier.h"
+#include "opt/cleanup.h"
+#include "opt/inline_core.h"
+#include "opt/jump_tables.h"
+#include "runtime/digest.h"
+#include "runtime/job_graph.h"
+#include "runtime/thread_pool.h"
+#include "support/logging.h"
+
+namespace pibe::scale {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+// --- ICP stage ------------------------------------------------------
+
+void
+runIcpStage(ir::Module& image, profile::EdgeProfile& working,
+            const ParallelPipelineConfig& config,
+            runtime::ThreadPool& pool, ParallelPipelineReport& rep)
+{
+    opt::IcpPlan plan = opt::planIcp(image, working, config.icp);
+
+    // All fresh ids were pre-assigned at plan time; reserve them
+    // before any rewrite so concurrent applications never allocate.
+    image.reserveSiteIds(plan.site_id_bound);
+
+    runtime::JobGraph graph;
+    for (const auto& [func, indices] : plan.by_func) {
+        (void)indices;
+        const ir::FuncId f = func;
+        graph.add("icp/" + image.func(f).name,
+                  [&image, &plan, f](const runtime::JobContext&) {
+                      opt::applyIcpFunction(image, f, plan);
+                  });
+    }
+    graph.run(pool);
+
+    rep.icp = opt::finalizeIcp(plan, working);
+}
+
+// --- inline stage ---------------------------------------------------
+
+/** One candidate of the round-based parallel inliner. */
+struct Candidate
+{
+    uint64_t weight = 0;
+    uint64_t seq = 0; ///< Insertion order; breaks weight ties (FIFO).
+    ir::SiteId site = ir::kNoSite;
+    ir::FuncId caller = ir::kInvalidFunc;
+    ir::FuncId callee = ir::kInvalidFunc;
+};
+
+bool
+hotterFirst(const Candidate& a, const Candidate& b)
+{
+    if (a.weight != b.weight)
+        return a.weight > b.weight;
+    return a.seq < b.seq;
+}
+
+/** Attribute-level refusal (the inst-independent subset of
+ *  opt::inlineRefusalReason; the rest is re-checked at apply time). */
+bool
+refusedByAttrs(const ir::Module& module, ir::FuncId caller,
+               ir::FuncId callee)
+{
+    const ir::Function& caller_f = module.func(caller);
+    const ir::Function& callee_f = module.func(callee);
+    return callee_f.isDeclaration() || callee == caller ||
+           callee_f.hasAttr(ir::kAttrNoInline) ||
+           callee_f.hasAttr(ir::kAttrExternal) ||
+           callee_f.hasAttr(ir::kAttrOptNone) ||
+           caller_f.hasAttr(ir::kAttrOptNone);
+}
+
+/** Number of call/icall sites in `f` (ids an inline of it consumes). */
+uint32_t
+callSiteCount(const ir::Function& f)
+{
+    uint32_t n = 0;
+    for (const auto& bb : f.blocks) {
+        for (const auto& inst : bb.insts) {
+            if (inst.op == ir::Opcode::kCall ||
+                inst.op == ir::Opcode::kICall)
+                ++n;
+        }
+    }
+    return n;
+}
+
+void
+runInlineStage(ir::Module& image, profile::EdgeProfile& working,
+               const ParallelPipelineConfig& config,
+               runtime::ThreadPool& pool, ParallelPipelineReport& rep)
+{
+    const opt::PibeInlinerConfig& cfg = config.inline_cfg;
+    opt::InlineAudit& audit = rep.inlining;
+    analysis::CallGraph callgraph(image);
+    analysis::InlineCostCache costs(image);
+
+    // Snapshot profiling-time invocation counts for the constant-ratio
+    // heuristic (fixed during the run, §5.2).
+    std::vector<uint64_t> orig_invocations(image.numFunctions());
+    for (ir::FuncId f = 0; f < image.numFunctions(); ++f)
+        orig_invocations[f] = working.invocations(f);
+
+    // Rule 1: gather profiled direct call sites, in code order.
+    std::vector<Candidate> pending;
+    uint64_t seq = 0;
+    for (const ir::Function& f : image.functions()) {
+        for (const auto& bb : f.blocks) {
+            for (const auto& inst : bb.insts) {
+                if (inst.op != ir::Opcode::kCall)
+                    continue;
+                const uint64_t w = working.directCount(inst.site_id);
+                if (w == 0)
+                    continue;
+                pending.push_back(
+                    {w, seq++, inst.site_id, f.id, inst.callee});
+                audit.total_weight += w;
+            }
+        }
+    }
+    audit.candidate_sites = static_cast<uint32_t>(pending.size());
+    if (pending.empty())
+        return;
+
+    // Weight cutoffs (identical to the serial inliner's Rule 1).
+    uint64_t weight_cut = 1;
+    uint64_t lax_weight_cut = UINT64_MAX;
+    {
+        std::vector<Candidate> sorted = pending;
+        std::sort(sorted.begin(), sorted.end(), hotterFirst);
+        const double budget_target =
+            cfg.budget * static_cast<double>(audit.total_weight);
+        const double lax_target =
+            cfg.lax_budget * static_cast<double>(audit.total_weight);
+        double cum = 0;
+        for (const auto& c : sorted) {
+            const bool in_budget = cum < budget_target;
+            if (in_budget) {
+                weight_cut = c.weight;
+                audit.eligible_weight += c.weight;
+            }
+            if (cfg.lax_heuristics && cum < lax_target)
+                lax_weight_cut = c.weight;
+            cum += static_cast<double>(c.weight);
+            if (!in_budget &&
+                (!cfg.lax_heuristics || cum >= lax_target))
+                break;
+        }
+    }
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [&](const Candidate& c) {
+                                     return c.weight < weight_cut;
+                                 }),
+                  pending.end());
+
+    uint64_t steps = 0;
+    while (!pending.empty()) {
+        ++rep.inline_rounds;
+        std::sort(pending.begin(), pending.end(), hotterFirst);
+
+        // Select, in weight order, a conflict-free batch: a caller is
+        // written at most once per round and never doubles as a callee
+        // (callees must stay frozen while copies are taken from them).
+        std::vector<Candidate> selected;
+        std::vector<Candidate> deferred;
+        std::vector<char> written(image.numFunctions(), 0);
+        std::vector<char> read(image.numFunctions(), 0);
+        bool hit_step_limit = false;
+        for (const Candidate& c : pending) {
+            if (steps >= cfg.max_steps) {
+                hit_step_limit = true;
+                break;
+            }
+            if (written[c.caller] || read[c.caller] ||
+                written[c.callee]) {
+                deferred.push_back(c); // retry next round
+                continue;
+            }
+            ++steps;
+            ++audit.attempted_sites;
+            if (refusedByAttrs(image, c.caller, c.callee) ||
+                callgraph.isRecursive(c.callee)) {
+                audit.blocked_other_weight += c.weight;
+                continue;
+            }
+            const bool lax_exempt =
+                cfg.lax_heuristics && c.weight >= lax_weight_cut;
+            const int64_t callee_cost = costs.cost(c.callee);
+            if (!lax_exempt) {
+                // Rule 3 first, then Rule 2 (§5.2, Figure 1). Costs
+                // are as of the round start — callers mutate only
+                // between rounds, so the order candidates are tested
+                // in within a round cannot change the outcome.
+                if (callee_cost > cfg.rule3_callee_threshold) {
+                    audit.blocked_rule3_weight += c.weight;
+                    continue;
+                }
+                if (costs.cost(c.caller) + callee_cost >
+                    cfg.rule2_caller_threshold) {
+                    audit.blocked_rule2_weight += c.weight;
+                    continue;
+                }
+            }
+            written[c.caller] = 1;
+            read[c.callee] = 1;
+            selected.push_back(c);
+        }
+        if (hit_step_limit) {
+            warn("parallel inliner: step limit reached, "
+                 "stopping early");
+            pending.clear();
+        } else {
+            pending = std::move(deferred);
+        }
+        if (selected.empty())
+            continue;
+
+        // Pre-assign inherited site ids in selection order — exactly
+        // the ids a serial walk of the same batch would allocate.
+        std::vector<ir::SiteId> id_base(selected.size());
+        ir::SiteId bound = image.siteIdBound();
+        for (size_t i = 0; i < selected.size(); ++i) {
+            id_base[i] = bound;
+            bound += callSiteCount(image.func(selected[i].callee));
+        }
+        image.reserveSiteIds(bound);
+
+        // Parallel apply: distinct callers, frozen callees. Cleanup
+        // runs in-job (it is caller-local); unused pre-assigned ids of
+        // failed applications stay unused, deterministically.
+        std::vector<opt::InlineOutcome> outcomes(selected.size());
+        runtime::JobGraph graph;
+        for (size_t i = 0; i < selected.size(); ++i) {
+            const Candidate& c = selected[i];
+            graph.add(
+                "inline/" + image.func(c.caller).name + "/" +
+                    std::to_string(c.site),
+                [&image, &outcomes, &selected, &id_base, &cfg,
+                 i](const runtime::JobContext&) {
+                    const Candidate& sc = selected[i];
+                    outcomes[i] = opt::inlineCallSiteWithIds(
+                        image, sc.caller, sc.site, id_base[i]);
+                    if (outcomes[i].ok && cfg.cleanup_callers)
+                        opt::cleanupFunction(image.func(sc.caller));
+                });
+        }
+        graph.run(pool);
+
+        // Serial merge in selection order: audit accounting, the
+        // constant-ratio heuristic, and inherited re-queueing.
+        for (size_t i = 0; i < selected.size(); ++i) {
+            const Candidate& c = selected[i];
+            const opt::InlineOutcome& outcome = outcomes[i];
+            if (!outcome.ok) {
+                // Site vanished (an earlier round's cleanup removed
+                // an unreachable copy) or a racing attribute change;
+                // same accounting as the serial inliner.
+                audit.blocked_other_weight += c.weight;
+                continue;
+            }
+            ++audit.inlined_sites;
+            audit.inlined_weight += c.weight;
+            audit.touched.push_back(c.caller);
+
+            const uint64_t callee_inv =
+                cfg.propagate_inherited_counts
+                    ? orig_invocations[c.callee]
+                    : 0;
+            for (const opt::InheritedSite& inh : outcome.inherited) {
+                if (callee_inv == 0)
+                    break;
+                if (inh.indirect) {
+                    for (const auto& tc :
+                         working.indirectTargets(inh.callee_site)) {
+                        const uint64_t scaled = static_cast<uint64_t>(
+                            static_cast<double>(tc.count) *
+                            static_cast<double>(c.weight) /
+                            static_cast<double>(callee_inv));
+                        if (scaled > 0)
+                            working.addIndirect(inh.new_site,
+                                                tc.target, scaled);
+                    }
+                    continue;
+                }
+                const uint64_t base =
+                    working.directCount(inh.callee_site);
+                if (base == 0)
+                    continue;
+                const uint64_t scaled = static_cast<uint64_t>(
+                    static_cast<double>(base) *
+                    static_cast<double>(c.weight) /
+                    static_cast<double>(callee_inv));
+                if (scaled == 0)
+                    continue;
+                working.addDirect(inh.new_site, scaled);
+                if (scaled >= weight_cut) {
+                    pending.push_back({scaled, seq++, inh.new_site,
+                                       c.caller, inh.callee});
+                }
+            }
+            costs.invalidate(c.caller);
+        }
+    }
+
+    std::sort(audit.touched.begin(), audit.touched.end());
+    audit.touched.erase(
+        std::unique(audit.touched.begin(), audit.touched.end()),
+        audit.touched.end());
+}
+
+// --- harden + audit stage -------------------------------------------
+
+/** [begin, end) function range of one shard job. */
+struct Shard
+{
+    ir::FuncId begin = 0;
+    ir::FuncId end = 0;
+};
+
+std::vector<Shard>
+makeShards(const ir::Module& module, size_t shard_size)
+{
+    std::vector<Shard> shards;
+    const ir::FuncId n = module.numFunctions();
+    const ir::FuncId step =
+        static_cast<ir::FuncId>(std::max<size_t>(1, shard_size));
+    for (ir::FuncId b = 0; b < n; b += step)
+        shards.push_back({b, std::min<ir::FuncId>(b + step, n)});
+    return shards;
+}
+
+void
+runHardenAndCheckStage(ir::Module& image,
+                       const ParallelPipelineConfig& config,
+                       runtime::ThreadPool& pool,
+                       ParallelPipelineReport& rep,
+                       Clock::time_point harden_start)
+{
+    const std::vector<Shard> shards =
+        makeShards(image, config.shard_size);
+    const uint32_t switches_before = opt::countSwitches(image);
+
+    check::CheckOptions copts;
+    copts.coverage = false; // module-wide groups run serially below
+    copts.profile_flow = false;
+
+    // One report per shard, merged in shard (= FuncId) order.
+    std::vector<check::CheckReport> shard_reports(shards.size());
+    std::vector<size_t> shard_computed(shards.size(), 0);
+    std::vector<size_t> shard_hits(shards.size(), 0);
+
+    // Each shard's audit depends only on its own hardening job, so
+    // auditing one shard overlaps hardening the next.
+    runtime::JobGraph graph;
+    auto check_once = std::make_shared<std::once_flag>();
+    auto check_start = std::make_shared<Clock::time_point>();
+    for (size_t s = 0; s < shards.size(); ++s) {
+        const Shard shard = shards[s];
+        const runtime::JobId hj = graph.add(
+            "harden/" + std::to_string(s),
+            [&image, &config, shard](const runtime::JobContext&) {
+                for (ir::FuncId f = shard.begin; f < shard.end; ++f)
+                    harden::applyDefensesToFunction(image, f,
+                                                    config.defenses);
+            });
+        if (!config.run_checks)
+            continue;
+        graph.add(
+            "check/" + std::to_string(s),
+            [&image, &copts, &shard_reports, &shard_computed,
+             &shard_hits, check_once, check_start, shard,
+             s](const runtime::JobContext&) {
+                // First audit job to start stamps the stage clock
+                // (stages overlap; this is the observable boundary).
+                std::call_once(*check_once, [&check_start] {
+                    *check_start = Clock::now();
+                });
+                check::AnalysisManager am(image);
+                check::CheckReport& out = shard_reports[s];
+                for (ir::FuncId f = shard.begin; f < shard.end; ++f) {
+                    check::CheckReport r = check::runFunctionChecks(
+                        image, f, copts, &am);
+                    out.diags.insert(out.diags.end(),
+                                     r.diags.begin(), r.diags.end());
+                }
+                shard_computed[s] = am.computations();
+                shard_hits[s] = am.hits();
+            },
+            {hj});
+    }
+    graph.run(pool);
+    rep.timing.harden_ms = msSince(harden_start);
+
+    rep.coverage = harden::analyzeCoverage(image);
+    rep.coverage.lowered_switches =
+        switches_before - opt::countSwitches(image);
+
+    if (!config.run_checks)
+        return;
+    std::call_once(*check_once,
+                   [&check_start] { *check_start = Clock::now(); });
+
+    for (size_t s = 0; s < shards.size(); ++s) {
+        rep.checks.diags.insert(rep.checks.diags.end(),
+                                shard_reports[s].diags.begin(),
+                                shard_reports[s].diags.end());
+        rep.analyses_computed += shard_computed[s];
+        rep.analyses_reused += shard_hits[s];
+    }
+
+    // Module-wide obligations, serial: cross-function site-id
+    // uniqueness and hardening-coverage reconciliation.
+    for (const std::string& p : ir::verifyModuleSiteIds(image)) {
+        check::Diagnostic d;
+        d.check_id = "verify.sites";
+        d.severity = check::Severity::kError;
+        d.message = p;
+        rep.checks.diags.push_back(std::move(d));
+    }
+    check::CheckOptions mopts;
+    mopts.verify = false;
+    mopts.lint = false;
+    mopts.coverage = true;
+    mopts.defense = config.defenses;
+    check::CheckReport mod = check::runChecks(image, mopts);
+    rep.checks.diags.insert(rep.checks.diags.end(),
+                            mod.diags.begin(), mod.diags.end());
+    rep.timing.check_ms = msSince(*check_start);
+}
+
+} // namespace
+
+ir::Module
+buildImageParallel(const ir::Module& linked,
+                   const profile::EdgeProfile& profile,
+                   const ParallelPipelineConfig& config,
+                   ParallelPipelineReport* report)
+{
+    ir::Module image = linked; // snapshot
+    profile::EdgeProfile working = profile;
+    ParallelPipelineReport local;
+    ParallelPipelineReport& rep = report ? *report : local;
+
+    rep.baseline_image_size = analysis::imageSizeOf(linked);
+
+    runtime::ThreadPool pool(std::max<size_t>(1, config.jobs));
+
+    if (config.enable_icp) {
+        const auto start = Clock::now();
+        runIcpStage(image, working, config, pool, rep);
+        rep.timing.icp_ms = msSince(start);
+    }
+    if (config.enable_inline) {
+        const auto start = Clock::now();
+        runInlineStage(image, working, config, pool, rep);
+        rep.timing.inline_ms = msSince(start);
+    }
+    runHardenAndCheckStage(image, config, pool, rep, Clock::now());
+
+    rep.image_size = analysis::imageSizeOf(image);
+    rep.final_profile = std::move(working);
+    return image;
+}
+
+std::string
+moduleDigest(const ir::Module& module)
+{
+    runtime::Digest d;
+    d.add(static_cast<uint64_t>(module.numFunctions()));
+    for (const ir::Function& f : module.functions()) {
+        d.add(f.name);
+        d.add(f.num_params);
+        d.add(f.num_regs);
+        d.add(f.frame_size);
+        d.add(f.attrs);
+        d.add(static_cast<uint64_t>(f.blocks.size()));
+        for (const ir::BasicBlock& bb : f.blocks) {
+            d.add(static_cast<uint64_t>(bb.insts.size()));
+            for (const ir::Instruction& inst : bb.insts) {
+                d.add(static_cast<uint32_t>(inst.op));
+                d.add(static_cast<uint32_t>(inst.bin));
+                d.add(inst.dst);
+                d.add(inst.a);
+                d.add(inst.b);
+                d.add(inst.imm);
+                d.add(inst.callee);
+                d.add(inst.global);
+                d.add(inst.t0);
+                d.add(inst.t1);
+                d.add(static_cast<uint64_t>(inst.args.size()));
+                for (ir::Reg r : inst.args)
+                    d.add(r);
+                d.add(static_cast<uint64_t>(inst.case_values.size()));
+                for (int64_t v : inst.case_values)
+                    d.add(v);
+                for (ir::BlockId t : inst.case_targets)
+                    d.add(t);
+                d.add(inst.site_id);
+                d.add(static_cast<uint32_t>(inst.fwd_scheme));
+                d.add(static_cast<uint32_t>(inst.ret_scheme));
+                d.add(inst.is_asm);
+            }
+        }
+    }
+    d.add(static_cast<uint64_t>(module.globals().size()));
+    for (const ir::Global& g : module.globals()) {
+        d.add(g.name);
+        d.add(static_cast<uint64_t>(g.init.size()));
+        for (int64_t v : g.init)
+            d.add(v);
+    }
+    d.add(module.siteIdBound());
+    return d.hex();
+}
+
+} // namespace pibe::scale

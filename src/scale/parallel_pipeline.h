@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Parallel incremental optimization pipeline for Linux-scale modules.
+ *
+ * buildImageParallel() derives a production image the way
+ * core::buildImage() does — ICP, profile-guided inlining, hardening,
+ * audit — but schedules the per-function work of every stage as jobs
+ * over the runtime ThreadPool/JobGraph, with the invariant that the
+ * resulting module is *bit-identical* (moduleDigest()) for any worker
+ * count, including --jobs 1. Determinism comes from three rules:
+ *
+ *  1. Decisions are serial, mutations are parallel. Every stage plans
+ *     on one thread (ICP site selection, inline round selection,
+ *     shard assignment) and only fans out function-local rewrites
+ *     whose inputs are frozen for the duration of the fan-out.
+ *  2. No allocator contention: fresh SiteIds are pre-assigned at plan
+ *     time in the order the serial algorithm would have drawn them
+ *     (opt::planIcp, opt::inlineCallSiteWithIds), so ids never depend
+ *     on scheduling.
+ *  3. Merges are ordered: profile updates happen serially in plan
+ *     order, shard results (coverage counts, diagnostics) concatenate
+ *     in FuncId order.
+ *
+ * The inliner here is the round-based parallel formulation of PIBE's
+ * greedy weight-ordered inliner (§5.2): each round selects, in weight
+ * order, a maximal set of candidates whose callers are pairwise
+ * distinct and whose callees are not mutated in the same round
+ * (callers are written, callees only read), applies them concurrently,
+ * then serially propagates constant-ratio inherited weights and
+ * re-queues inherited candidates. Rules 1–3 and the constant-ratio
+ * heuristic are unchanged; only the interleaving differs from the
+ * strictly-serial greedy order, and it differs deterministically.
+ *
+ * The audit stage runs check::runFunctionChecks per shard with one
+ * private AnalysisManager per job, then the module-wide obligations
+ * (site-id uniqueness, coverage reconciliation) serially. Each shard's
+ * audit is scheduled as a JobGraph dependent of that shard's hardening
+ * job, so auditing overlaps hardening across shards.
+ */
+#ifndef PIBE_SCALE_PARALLEL_PIPELINE_H_
+#define PIBE_SCALE_PARALLEL_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "check/checks.h"
+#include "harden/harden.h"
+#include "ir/module.h"
+#include "opt/icp.h"
+#include "opt/inliner.h"
+#include "profile/edge_profile.h"
+
+namespace pibe::scale {
+
+/** Knobs for buildImageParallel(). */
+struct ParallelPipelineConfig
+{
+    /** Worker threads. 1 runs the identical algorithm serially. */
+    size_t jobs = 1;
+    /** Functions per harden/check shard job. */
+    size_t shard_size = 64;
+
+    bool enable_icp = true;
+    opt::IcpConfig icp;
+
+    bool enable_inline = true;
+    opt::PibeInlinerConfig inline_cfg;
+
+    harden::DefenseConfig defenses;
+
+    /** Run the parallel audit stage after hardening. */
+    bool run_checks = true;
+};
+
+/** Wall-clock per stage, for BENCH_scale.json curves. */
+struct StageTiming
+{
+    double icp_ms = 0;
+    double inline_ms = 0;
+    double harden_ms = 0;
+    double check_ms = 0;
+};
+
+/** Everything one parallel build reports. */
+struct ParallelPipelineReport
+{
+    opt::IcpAudit icp;
+    opt::InlineAudit inlining;
+    uint32_t inline_rounds = 0; ///< Rounds of the parallel inliner.
+    harden::CoverageReport coverage;
+    uint64_t baseline_image_size = 0;
+    uint64_t image_size = 0;
+
+    /** Audit stage (diags in FuncId order, module-wide last). */
+    check::CheckReport checks;
+    /** Analyses computed / served from cache across all audit shards. */
+    size_t analyses_computed = 0;
+    size_t analyses_reused = 0;
+
+    StageTiming timing;
+    /** The profile as transformed by the passes. */
+    profile::EdgeProfile final_profile;
+};
+
+/**
+ * Derive a production image from `linked` using `profile` with
+ * `config.jobs` workers. The input module is copied; the profile is
+ * copied and transformed internally. The returned module's
+ * moduleDigest() is independent of `config.jobs`.
+ */
+ir::Module buildImageParallel(const ir::Module& linked,
+                              const profile::EdgeProfile& profile,
+                              const ParallelPipelineConfig& config,
+                              ParallelPipelineReport* report = nullptr);
+
+/**
+ * Content digest of a module (32 hex chars): every function header,
+ * instruction operand, global, and the site-id bound, streamed through
+ * runtime::Digest in one walk — O(1) extra memory. Two modules with
+ * equal digests are structurally identical for all pipeline purposes;
+ * scalebench uses this to prove serial/parallel bit-identity.
+ */
+std::string moduleDigest(const ir::Module& module);
+
+} // namespace pibe::scale
+
+#endif // PIBE_SCALE_PARALLEL_PIPELINE_H_

@@ -88,4 +88,12 @@ Client::callOk(const std::string& op, Json params, std::string* error)
     return (*response)["result"];
 }
 
+bool
+Client::authenticate(const std::string& token, std::string* error)
+{
+    Json params = Json::object();
+    params.set("token", token);
+    return callOk("auth", std::move(params), error).has_value();
+}
+
 } // namespace pibe::serve

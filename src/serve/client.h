@@ -50,6 +50,14 @@ class Client
     std::optional<Json> callOk(const std::string& op, Json params,
                                std::string* error = nullptr);
 
+    /**
+     * Present the pre-shared token (token-gated TCP listeners refuse
+     * every other op first). Harmless on trusted connections: the
+     * daemon treats auth there as an idempotent success.
+     */
+    bool authenticate(const std::string& token,
+                      std::string* error = nullptr);
+
   private:
     int fd_ = -1;
     uint64_t next_id_ = 1;

@@ -117,8 +117,12 @@ connect(const LoadgenOptions& opts)
         client.connectUnix(opts.socket_path))
         return client;
     if (opts.tcp_port >= 0 &&
-        client.connectTcp(static_cast<uint16_t>(opts.tcp_port)))
+        client.connectTcp(static_cast<uint16_t>(opts.tcp_port))) {
+        if (!opts.auth_token.empty() &&
+            !client.authenticate(opts.auth_token))
+            client.close();
         return client;
+    }
     return client;
 }
 

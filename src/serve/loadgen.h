@@ -44,6 +44,8 @@ struct LoadgenOptions
     uint32_t verify = 0;
     /** Output report path ("" = no file). */
     std::string out_path = "BENCH_serve.json";
+    /** Pre-shared token for token-gated TCP daemons ("" = none). */
+    std::string auth_token;
 };
 
 /**

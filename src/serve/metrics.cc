@@ -79,6 +79,13 @@ ServeMetrics::recordConnection()
 }
 
 void
+ServeMetrics::recordAuthReject()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++auth_rejected_;
+}
+
+void
 ServeMetrics::enterRequest()
 {
     std::lock_guard<std::mutex> lock(mu_);
@@ -105,6 +112,7 @@ ServeMetrics::snapshot(const runtime::CacheStats& cache) const
         snap.coalesced += s.coalesced;
     }
     snap.connections = connections_;
+    snap.auth_rejected = auth_rejected_;
     snap.inflight = inflight_;
     snap.peak_inflight = peak_inflight_;
     snap.admission_wait_ms_total = admission_wait_ms_total_;
@@ -148,6 +156,7 @@ MetricsSnapshot::toJson() const
     j.set("failures", failures);
     j.set("coalesced", coalesced);
     j.set("connections", connections);
+    j.set("auth_rejected", auth_rejected);
     j.set("inflight", static_cast<int64_t>(inflight));
     j.set("peak_inflight", static_cast<int64_t>(peak_inflight));
     j.set("admission_wait_ms_total", admission_wait_ms_total);
@@ -168,6 +177,7 @@ MetricsSnapshot::renderText() const
     os << "pibe_serve_failures_total " << failures << "\n";
     os << "pibe_serve_coalesced_total " << coalesced << "\n";
     os << "pibe_serve_connections_total " << connections << "\n";
+    os << "pibe_serve_auth_rejected_total " << auth_rejected << "\n";
     os << "pibe_serve_inflight " << inflight << "\n";
     os << "pibe_serve_inflight_peak " << peak_inflight << "\n";
     os << "pibe_serve_admission_wait_ms_total "

@@ -40,6 +40,7 @@ struct MetricsSnapshot
     uint64_t failures = 0;
     uint64_t coalesced = 0;
     uint64_t connections = 0;        ///< Accepted since boot.
+    uint64_t auth_rejected = 0;      ///< Requests refused pre-auth.
     uint32_t inflight = 0;           ///< Requests being handled now.
     uint32_t peak_inflight = 0;
     double admission_wait_ms_total = 0;
@@ -68,6 +69,9 @@ class ServeMetrics
 
     void recordConnection();
 
+    /** A request was refused on an unauthenticated connection. */
+    void recordAuthReject();
+
     /** Request-handling began (gauge up). */
     void enterRequest();
     /** Request-handling finished (gauge down). */
@@ -80,6 +84,7 @@ class ServeMetrics
     mutable std::mutex mu_;
     std::map<std::string, OpStats> by_op_;
     uint64_t connections_ = 0;
+    uint64_t auth_rejected_ = 0;
     uint32_t inflight_ = 0;
     uint32_t peak_inflight_ = 0;
     double admission_wait_ms_total_ = 0;

@@ -585,6 +585,14 @@ Server::handle(const Json& request)
     try {
         if (op == "ping") {
             response = makeResponse(id, handlePing(params));
+        } else if (op == "auth") {
+            // Reaching the dispatcher means the connection is already
+            // trusted (unix socket, authed TCP, or no token set), so
+            // auth is an idempotent success; clients may send it
+            // unconditionally.
+            Json result = Json::object();
+            result.set("authenticated", true);
+            response = makeResponse(id, result);
         } else if (op == "optimize") {
             response =
                 makeResponse(id, handleOptimize(params, &coalesced));
@@ -643,20 +651,70 @@ Server::start()
         if (fd >= 0) {
             listen_fds_.push_back(fd);
             tcp_port_ = port;
-            inform("serve: listening on tcp:127.0.0.1:", port);
+            tcp_listen_fd_ = fd;
+            inform("serve: listening on tcp:127.0.0.1:", port,
+                   opts_.auth_token.empty() ? "" : " (token auth)");
         }
     }
     if (listen_fds_.empty()) {
         warn("serve: no listener could be bound");
         return false;
     }
-    for (const int fd : listen_fds_)
-        accept_threads_.emplace_back([this, fd] { acceptLoop(fd); });
+    for (const int fd : listen_fds_) {
+        const bool requires_auth =
+            fd == tcp_listen_fd_ && !opts_.auth_token.empty();
+        accept_threads_.emplace_back(
+            [this, fd, requires_auth] { acceptLoop(fd, requires_auth); });
+    }
     return true;
 }
 
+namespace {
+
+/**
+ * Length-leaking but content-constant-time comparison, so response
+ * timing cannot be used to guess the token byte by byte.
+ */
+bool
+tokenEquals(const std::string& a, const std::string& b)
+{
+    if (a.size() != b.size())
+        return false;
+    unsigned char acc = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc |= static_cast<unsigned char>(a[i]) ^
+               static_cast<unsigned char>(b[i]);
+    return acc == 0;
+}
+
+} // namespace
+
+Json
+Server::handleWithAuth(const Json& request, std::atomic<bool>& authed)
+{
+    if (authed.load(std::memory_order_acquire))
+        return handle(request);
+    const uint64_t id =
+        static_cast<uint64_t>(request["id"].asInt(0));
+    const std::string& op = request["op"].asString();
+    if (op == "auth" &&
+        tokenEquals(request["params"]["token"].asString(),
+                    opts_.auth_token)) {
+        authed.store(true, std::memory_order_release);
+        metrics_.recordRequest("auth", true, 0.0, false);
+        Json result = Json::object();
+        result.set("authenticated", true);
+        return makeResponse(id, result);
+    }
+    metrics_.recordAuthReject();
+    return makeErrorResponse(
+        id, "unauthorized: this listener requires a pre-shared token "
+            "(send {\"op\":\"auth\",\"params\":{\"token\":...}} "
+            "first)");
+}
+
 void
-Server::acceptLoop(int listen_fd)
+Server::acceptLoop(int listen_fd, bool requires_auth)
 {
     for (;;) {
         const int fd = ::accept(listen_fd, nullptr, nullptr);
@@ -672,8 +730,12 @@ Server::acceptLoop(int listen_fd)
         metrics_.recordConnection();
         reapFinishedSessions();
         auto handle = std::make_unique<SessionHandle>();
+        auto authed =
+            std::make_shared<std::atomic<bool>>(!requires_auth);
         handle->session = std::make_unique<Session>(
-            fd, [this](const Json& req) { return this->handle(req); });
+            fd, [this, authed](const Json& req) {
+                return this->handleWithAuth(req, *authed);
+            });
         SessionHandle* raw = handle.get();
         handle->thread = std::thread([raw] {
             raw->session->run();

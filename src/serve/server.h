@@ -85,6 +85,14 @@ struct ServeOptions
     std::string default_defense = "all";
     /** `check` severity gate when a request names none (knob). */
     std::string fail_on = "error";
+    /**
+     * Pre-shared token required on TCP connections ("" = open). A
+     * TCP session must authenticate with `{"op":"auth","params":
+     * {"token":...}}` before any other op; every pre-auth request is
+     * refused and counted in ServeMetrics. Unix-socket sessions are
+     * trusted via filesystem permissions and never challenged.
+     */
+    std::string auth_token;
 };
 
 /**
@@ -203,8 +211,16 @@ class Server
     Json handleMetrics(const Json& params);
     Json handleConfig(const Json& params);
 
-    void acceptLoop(int listen_fd);
+    void acceptLoop(int listen_fd, bool requires_auth);
     void reapFinishedSessions();
+
+    /**
+     * Per-connection gate in front of handle(): until `authed` flips,
+     * only a correct `auth` op is accepted; everything else gets an
+     * unauthorized error and bumps the rejected-auth counter.
+     */
+    Json handleWithAuth(const Json& request,
+                        std::atomic<bool>& authed);
 
     ServeOptions opts_;
     runtime::ArtifactCache cache_;
@@ -239,6 +255,7 @@ class Server
     std::vector<int> listen_fds_;
     std::vector<std::thread> accept_threads_;
     uint16_t tcp_port_ = 0;
+    int tcp_listen_fd_ = -1;
     struct SessionHandle
     {
         std::unique_ptr<Session> session;

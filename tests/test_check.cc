@@ -224,6 +224,34 @@ TEST(AnalysisManager, CachesAndInvalidates)
     EXPECT_GT(am.computations(), after_first);
 }
 
+TEST(AnalysisManager, InvalidationIsPerFunction)
+{
+    ir::Module m;
+    for (const char* name : {"left", "right"}) {
+        ir::FuncId f = m.addFunction(name, 1);
+        ir::FunctionBuilder b(m, f);
+        b.ret(b.param(0));
+    }
+    AnalysisManager am(m);
+    am.liveness(0);
+    am.cfg(0);
+    am.liveness(1);
+    am.cfg(1);
+    const size_t computed = am.computations();
+    const size_t hits = am.hits();
+
+    // Mutating only function 0 must not cost function 1 its cache:
+    // the untouched function is served from cache (hit counter), the
+    // invalidated one is recomputed (miss counter).
+    am.invalidate(0);
+    am.liveness(1);
+    am.cfg(1);
+    EXPECT_EQ(am.computations(), computed);
+    EXPECT_EQ(am.hits(), hits + 2);
+    am.liveness(0);
+    EXPECT_GT(am.computations(), computed);
+}
+
 // --- lint group -----------------------------------------------------
 
 TEST(Lint, UseBeforeDefIsError)
@@ -831,6 +859,13 @@ TEST(Sandwich, BuildImageRecordsStagesAndStaysGreen)
     // No stage may have introduced an error-severity finding.
     for (const Diagnostic& d : report.sandwich)
         EXPECT_NE(d.severity, Severity::kError) << d.render();
+
+    // The sandwich runs on one AnalysisManager with per-pass touched
+    // sets: only functions a pass actually mutated are invalidated, so
+    // later audit stages must have reused analyses of untouched
+    // functions.
+    EXPECT_GT(report.analyses_computed, 0u);
+    EXPECT_GT(report.analyses_reused, 0u);
 }
 
 TEST(Sandwich, ModuleCleanupStagePreservesBehaviour)

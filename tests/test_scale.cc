@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for src/scale: the Linux-scale synthetic module generator, the
+ * synthetic flow-conserving profile, the streaming size estimators,
+ * and the parallel incremental pipeline's bit-identity guarantee
+ * (moduleDigest independent of the worker count).
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/layout.h"
+#include "check/checks.h"
+#include "harden/harden.h"
+#include "ir/printer.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+#include "profile/serialize.h"
+#include "scale/parallel_pipeline.h"
+#include "scale/scale_builder.h"
+#include "scale/synthetic_profile.h"
+#include "uarch/decoded_module.h"
+
+namespace pibe {
+namespace {
+
+scale::ScaleConfig
+smallConfig(uint64_t insts = 20000, uint64_t seed = 42)
+{
+    scale::ScaleConfig cfg;
+    cfg.target_insts = insts;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(ScaleBuilder, DeterministicInConfig)
+{
+    const ir::Module a = scale::buildScaleModule(smallConfig());
+    const ir::Module b = scale::buildScaleModule(smallConfig());
+    EXPECT_EQ(scale::moduleDigest(a), scale::moduleDigest(b));
+
+    const ir::Module c =
+        scale::buildScaleModule(smallConfig(20000, 43));
+    EXPECT_NE(scale::moduleDigest(a), scale::moduleDigest(c));
+}
+
+TEST(ScaleBuilder, HitsTargetSizeAndShape)
+{
+    scale::ScaleStats stats;
+    const ir::Module m =
+        scale::buildScaleModule(smallConfig(50000), &stats);
+    // Within 10% of the requested instruction count.
+    EXPECT_GT(stats.num_insts, 45000u);
+    EXPECT_LT(stats.num_insts, 55000u);
+    EXPECT_GT(stats.icall_sites, 0u);
+    EXPECT_GT(stats.num_tables, 0u);
+    EXPECT_EQ(stats.ret_sites, stats.num_functions);
+}
+
+TEST(ScaleBuilder, OutputIsCheckCleanWithProfileFlow)
+{
+    const ir::Module m = scale::buildScaleModule(smallConfig());
+    const profile::EdgeProfile prof = scale::synthesizeProfile(m);
+
+    check::CheckOptions opts;
+    opts.profile = &prof;
+    opts.profile_flow = true;
+    const check::CheckReport report = check::runChecks(m, opts);
+    for (const check::Diagnostic& d : report.diags)
+        EXPECT_NE(d.severity, check::Severity::kError) << d.render();
+}
+
+TEST(ScaleBuilder, TextRoundTripsThroughParser)
+{
+    const ir::Module m = scale::buildScaleModule(smallConfig(8000));
+    const ir::Module back = ir::parseModule(ir::printModule(m));
+    EXPECT_TRUE(ir::verifyModule(back).empty());
+    EXPECT_EQ(scale::moduleDigest(m), scale::moduleDigest(back));
+}
+
+TEST(ScaleProfile, DeterministicAndNonTrivial)
+{
+    const ir::Module m = scale::buildScaleModule(smallConfig());
+    const profile::EdgeProfile a = scale::synthesizeProfile(m);
+    const profile::EdgeProfile b = scale::synthesizeProfile(m);
+    EXPECT_EQ(profile::serializeProfile(m, a),
+              profile::serializeProfile(m, b));
+    EXPECT_FALSE(a.directSites().empty());
+    EXPECT_FALSE(a.indirectSites().empty());
+}
+
+TEST(ScaleEstimators, StreamingSizesMatchMaterializedOnes)
+{
+    const ir::Module m = scale::buildScaleModule(smallConfig());
+    EXPECT_EQ(analysis::imageSizeOf(m),
+              analysis::CodeLayout(m).imageSize());
+    EXPECT_EQ(uarch::estimateDecodedBytes(m),
+              uarch::DecodedModule(m).decodedBytes());
+
+    // Still equal after the pipeline reshapes the module (promoted
+    // calls, inlined bodies, lowered switches).
+    scale::ParallelPipelineConfig cfg;
+    cfg.defenses = harden::DefenseConfig::all();
+    cfg.run_checks = false;
+    const ir::Module image = scale::buildImageParallel(
+        m, scale::synthesizeProfile(m), cfg);
+    EXPECT_EQ(analysis::imageSizeOf(image),
+              analysis::CodeLayout(image).imageSize());
+    EXPECT_EQ(uarch::estimateDecodedBytes(image),
+              uarch::DecodedModule(image).decodedBytes());
+}
+
+TEST(ScalePipeline, ParallelImageIsBitIdenticalToSerial)
+{
+    const ir::Module m = scale::buildScaleModule(smallConfig());
+    const profile::EdgeProfile prof = scale::synthesizeProfile(m);
+
+    scale::ParallelPipelineConfig cfg;
+    cfg.defenses = harden::DefenseConfig::all();
+
+    cfg.jobs = 1;
+    scale::ParallelPipelineReport serial_rep;
+    const ir::Module serial =
+        scale::buildImageParallel(m, prof, cfg, &serial_rep);
+
+    cfg.jobs = 4;
+    scale::ParallelPipelineReport par_rep;
+    const ir::Module parallel =
+        scale::buildImageParallel(m, prof, cfg, &par_rep);
+
+    EXPECT_EQ(scale::moduleDigest(serial),
+              scale::moduleDigest(parallel));
+    // And the pipeline actually did something.
+    EXPECT_NE(scale::moduleDigest(serial), scale::moduleDigest(m));
+    EXPECT_GT(serial_rep.icp.promoted_sites, 0u);
+    EXPECT_GT(serial_rep.inlining.inlined_sites, 0u);
+    EXPECT_EQ(serial_rep.inlining.inlined_sites,
+              par_rep.inlining.inlined_sites);
+    EXPECT_GT(serial_rep.coverage.protected_icalls, 0u);
+    EXPECT_GT(serial_rep.coverage.protected_rets, 0u);
+}
+
+TEST(ScalePipeline, AuditIsCleanAndIncremental)
+{
+    const ir::Module m = scale::buildScaleModule(smallConfig());
+    const profile::EdgeProfile prof = scale::synthesizeProfile(m);
+
+    scale::ParallelPipelineConfig cfg;
+    cfg.defenses = harden::DefenseConfig::all();
+    cfg.jobs = 3;
+    scale::ParallelPipelineReport rep;
+    const ir::Module image =
+        scale::buildImageParallel(m, prof, cfg, &rep);
+
+    EXPECT_EQ(rep.checks.errors(), 0u)
+        << rep.checks.diags.front().render();
+    EXPECT_GT(rep.analyses_computed, 0u);
+    // Shard-local AnalysisManagers serve each function's repeated
+    // analyses from cache across the per-function check suite.
+    EXPECT_GT(rep.analyses_reused, 0u);
+    EXPECT_GT(rep.image_size, rep.baseline_image_size);
+    EXPECT_EQ(rep.image_size, analysis::imageSizeOf(image));
+}
+
+} // namespace
+} // namespace pibe

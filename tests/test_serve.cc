@@ -28,6 +28,7 @@
 #include "profile/serialize.h"
 #include "runtime/artifact_cache.h"
 #include "serve/batcher.h"
+#include "serve/client.h"
 #include "serve/control.h"
 #include "serve/json.h"
 #include "serve/metrics.h"
@@ -670,6 +671,63 @@ TEST(ServeServer, SeverityNamesParse)
               check::Severity::kError);
     EXPECT_FALSE(check::severityFromName("fatal").has_value());
     EXPECT_FALSE(check::severityFromName("").has_value());
+}
+
+// ---------------------------------------------------------------------
+// TCP auth token
+
+TEST(ServeAuth, TcpConnectionsAreTokenGated)
+{
+    serve::ServeOptions opts = tinyServeOptions();
+    opts.socket_path.clear();
+    opts.tcp_port = 0; // ephemeral
+    opts.auth_token = "sekrit";
+    serve::Server server(std::move(opts));
+    ASSERT_TRUE(server.start());
+
+    serve::Client client;
+    ASSERT_TRUE(client.connectTcp(server.tcpPort()));
+
+    // Any op before auth is refused (connection survives).
+    std::optional<Json> pre = client.call("ping", Json::object());
+    ASSERT_TRUE(pre.has_value());
+    EXPECT_FALSE((*pre)["ok"].asBool(true));
+
+    // A wrong token is refused too.
+    EXPECT_FALSE(client.authenticate("wrong"));
+
+    // The right token opens the connection for every later op.
+    EXPECT_TRUE(client.authenticate("sekrit"));
+    EXPECT_TRUE(client.callOk("ping", Json::object()).has_value());
+
+    const serve::MetricsSnapshot snap = server.metricsSnapshot();
+    EXPECT_EQ(snap.auth_rejected, 2u);
+
+    client.close();
+    server.requestStop();
+    server.wait();
+}
+
+TEST(ServeAuth, UnixSocketIsNeverChallenged)
+{
+    TempDir dir("auth_unix");
+    serve::ServeOptions opts = tinyServeOptions();
+    opts.socket_path = (dir.path() / "serve.sock").string();
+    opts.auth_token = "sekrit"; // gates only the TCP listener
+    serve::Server server(std::move(opts));
+    ASSERT_TRUE(server.start());
+
+    serve::Client client;
+    ASSERT_TRUE(client.connectUnix(server.options().socket_path));
+    EXPECT_TRUE(client.callOk("ping", Json::object()).has_value());
+    // auth is an idempotent success on trusted connections, so
+    // clients may send their token unconditionally.
+    EXPECT_TRUE(client.authenticate("anything"));
+    EXPECT_EQ(server.metricsSnapshot().auth_rejected, 0u);
+
+    client.close();
+    server.requestStop();
+    server.wait();
 }
 
 } // namespace

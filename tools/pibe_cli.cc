@@ -25,24 +25,40 @@
  *                 [--cache-dir DIR] [--cache-budget BYTES]
  *                 [--drivers N] [--seed S] [--profile-iters N]
  *                 [--max-inflight N] [--defense NAME]
- *                 [--fail-on note|warn|error]
+ *                 [--fail-on note|warn|error] [--auth-token T]
  *   pibe loadgen  [--socket PATH] [--tcp PORT] [--requests N]
  *                 [--clients N] [--seed S] [--variants N]
- *                 [--verify N] [--out FILE]
+ *                 [--verify N] [--out FILE] [--auth-token T]
  *   pibe client   --op NAME [--params JSON] [--socket PATH]
- *                 [--tcp PORT] [--save-text FILE]
+ *                 [--tcp PORT] [--save-text FILE] [--auth-token T]
+ *
+ * --auth-token defaults to $PIBE_SERVE_TOKEN; when the daemon has a
+ * token, TCP connections must authenticate before any other op.
+ *   pibe genkernel -o big.pir [--insts N] [--seed S]
+ *                 [--profile prof.txt] [--depth N] [--fanout F]
+ *                 [--icalls-per-kinst F] [--ops-per-table N]
+ *                 [--entry-points N] [--mix core,fs,net,drivers]
+ *   pibe scalebench [--sizes N,N,...] [--seed S] [--jobs N]
+ *                 [--out BENCH_scale.json]
  *   pibe selftest            (end-to-end smoke of all subcommands)
  */
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/checks.h"
@@ -58,6 +74,9 @@
 #include "runtime/artifact_cache.h"
 #include "runtime/job_graph.h"
 #include "runtime/thread_pool.h"
+#include "scale/parallel_pipeline.h"
+#include "scale/scale_builder.h"
+#include "scale/synthetic_profile.h"
 #include "serve/client.h"
 #include "serve/json.h"
 #include "serve/loadgen.h"
@@ -164,6 +183,14 @@ splitList(const std::string& s)
         if (!item.empty())
             out.push_back(item);
     return out;
+}
+
+/** PIBE_SERVE_TOKEN, the fallback for every --auth-token flag. */
+std::string
+envAuthToken()
+{
+    const char* token = std::getenv("PIBE_SERVE_TOKEN");
+    return token ? token : "";
 }
 
 harden::DefenseConfig
@@ -715,6 +742,302 @@ cmdCheck(Args& args)
     return outcome.passed ? 0 : 1;
 }
 
+int
+cmdGenkernel(Args& args)
+{
+    scale::ScaleConfig cfg;
+    cfg.target_insts = std::stoull(args.get("--insts", "100000"));
+    cfg.seed = std::stoull(args.get("--seed", "42"));
+    cfg.depth =
+        static_cast<uint32_t>(std::stoul(args.get("--depth", "10")));
+    cfg.fanout = std::stod(args.get("--fanout", "2.5"));
+    cfg.icalls_per_kinst =
+        std::stod(args.get("--icalls-per-kinst", "7.0"));
+    cfg.ops_per_table = static_cast<uint32_t>(
+        std::stoul(args.get("--ops-per-table", "7")));
+    cfg.num_entry_points = static_cast<uint32_t>(
+        std::stoul(args.get("--entry-points", "32")));
+    const std::string mix = args.get("--mix");
+    if (!mix.empty()) {
+        std::vector<std::string> parts = splitList(mix);
+        if (parts.size() != 4)
+            PIBE_FATAL("--mix wants four fractions "
+                       "(core,fs,net,drivers), got '",
+                       mix, "'");
+        cfg.frac_core = std::stod(parts[0]);
+        cfg.frac_fs = std::stod(parts[1]);
+        cfg.frac_net = std::stod(parts[2]);
+        cfg.frac_drivers = std::stod(parts[3]);
+    }
+
+    scale::ScaleStats stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    ir::Module m = scale::buildScaleModule(cfg, &stats);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    const std::string out = args.get("-o", "scale_kernel.pir");
+    writeFile(out, ir::printModule(m));
+
+    const std::string prof_path = args.get("--profile");
+    if (!prof_path.empty()) {
+        scale::SyntheticProfileConfig pcfg;
+        pcfg.seed = cfg.seed;
+        pcfg.root_invocations = std::stoull(
+            args.get("--root-invocations", "1048576"));
+        profile::EdgeProfile prof = scale::synthesizeProfile(m, pcfg);
+        writeFile(prof_path, profile::serializeProfile(m, prof));
+    }
+
+    const double gen_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::printf("wrote %s (%.0f ms)\n", out.c_str(), gen_ms);
+    std::printf("functions:      %llu\n",
+                static_cast<unsigned long long>(stats.num_functions));
+    std::printf("instructions:   %llu\n",
+                static_cast<unsigned long long>(stats.num_insts));
+    std::printf("call sites:     %llu\n",
+                static_cast<unsigned long long>(stats.call_sites));
+    std::printf("icall sites:    %llu (%llu asm)\n",
+                static_cast<unsigned long long>(stats.icall_sites),
+                static_cast<unsigned long long>(stats.asm_icall_sites));
+    std::printf("return sites:   %llu\n",
+                static_cast<unsigned long long>(stats.ret_sites));
+    std::printf("switches:       %llu\n",
+                static_cast<unsigned long long>(stats.switch_sites));
+    std::printf("op tables:      %llu (%llu globals)\n",
+                static_cast<unsigned long long>(stats.num_tables),
+                static_cast<unsigned long long>(stats.num_globals));
+    if (!prof_path.empty())
+        std::printf("profile:        %s\n", prof_path.c_str());
+    return 0;
+}
+
+/**
+ * One fork-isolated scalebench measurement: generate a module of
+ * `insts` instructions, synthesize its profile, build the hardened
+ * image serially and with `jobs` workers, and write one JSON object
+ * with timings, digests, and audit counters to `fd`. Runs in the
+ * child so the parent can read peak RSS from wait4().
+ */
+void
+runScalebenchChild(uint64_t insts, uint64_t seed, size_t jobs, int fd)
+{
+    using Clock = std::chrono::steady_clock;
+    auto ms = [](Clock::time_point a, Clock::time_point b) {
+        return std::chrono::duration<double, std::milli>(b - a)
+            .count();
+    };
+
+    scale::ScaleConfig cfg;
+    cfg.target_insts = insts;
+    cfg.seed = seed;
+    scale::ScaleStats stats;
+    const Clock::time_point t0 = Clock::now();
+    ir::Module m = scale::buildScaleModule(cfg, &stats);
+    const Clock::time_point t1 = Clock::now();
+
+    scale::SyntheticProfileConfig pcfg;
+    pcfg.seed = seed;
+    profile::EdgeProfile prof = scale::synthesizeProfile(m, pcfg);
+    const Clock::time_point t2 = Clock::now();
+
+    scale::ParallelPipelineConfig pc;
+    pc.defenses = harden::DefenseConfig::all();
+    pc.jobs = 1;
+    scale::ParallelPipelineReport serial_rep;
+    std::string serial_digest;
+    const Clock::time_point t3 = Clock::now();
+    {
+        ir::Module image =
+            scale::buildImageParallel(m, prof, pc, &serial_rep);
+        serial_digest = scale::moduleDigest(image);
+    } // image freed here: peak RSS reflects one in-flight image
+    const Clock::time_point t4 = Clock::now();
+
+    pc.jobs = jobs;
+    scale::ParallelPipelineReport par_rep;
+    std::string par_digest;
+    const Clock::time_point t5 = Clock::now();
+    {
+        ir::Module image =
+            scale::buildImageParallel(m, prof, pc, &par_rep);
+        par_digest = scale::moduleDigest(image);
+    }
+    const Clock::time_point t6 = Clock::now();
+
+    const double serial_ms = ms(t3, t4);
+    const double par_ms = ms(t5, t6);
+    dprintf(
+        fd,
+        "{\"target_insts\":%llu,\"insts\":%llu,\"functions\":%llu,"
+        "\"icall_sites\":%llu,"
+        "\"gen_ms\":%.1f,\"profile_ms\":%.1f,"
+        "\"serial_build_ms\":%.1f,\"parallel_build_ms\":%.1f,"
+        "\"speedup\":%.2f,"
+        "\"icp_ms\":%.1f,\"inline_ms\":%.1f,\"harden_ms\":%.1f,"
+        "\"check_ms\":%.1f,\"inline_rounds\":%u,"
+        "\"analyses_computed\":%llu,\"analyses_reused\":%llu,"
+        "\"check_errors\":%llu,"
+        "\"baseline_image_size\":%llu,\"image_size\":%llu,"
+        "\"digest\":\"%s\",\"digests_match\":%s}",
+        static_cast<unsigned long long>(insts),
+        static_cast<unsigned long long>(stats.num_insts),
+        static_cast<unsigned long long>(stats.num_functions),
+        static_cast<unsigned long long>(stats.icall_sites),
+        ms(t0, t1), ms(t1, t2), serial_ms, par_ms,
+        par_ms > 0 ? serial_ms / par_ms : 0.0,
+        serial_rep.timing.icp_ms, serial_rep.timing.inline_ms,
+        serial_rep.timing.harden_ms, serial_rep.timing.check_ms,
+        par_rep.inline_rounds,
+        static_cast<unsigned long long>(
+            serial_rep.analyses_computed),
+        static_cast<unsigned long long>(serial_rep.analyses_reused),
+        static_cast<unsigned long long>(
+            serial_rep.checks.errors()),
+        static_cast<unsigned long long>(
+            serial_rep.baseline_image_size),
+        static_cast<unsigned long long>(serial_rep.image_size),
+        serial_digest.c_str(),
+        serial_digest == par_digest ? "true" : "false");
+}
+
+int
+cmdScalebench(Args& args)
+{
+    const std::string out = args.get("--out", "BENCH_scale.json");
+    const uint64_t seed = std::stoull(args.get("--seed", "42"));
+    size_t jobs = std::stoul(args.get("--jobs", "0"));
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs < 2)
+            jobs = 2; // exercise the parallel path even on one core
+    }
+    std::vector<uint64_t> sizes;
+    for (const std::string& s : splitList(
+             args.get("--sizes", "10000,32000,100000,320000,1000000")))
+        sizes.push_back(std::stoull(s));
+    if (sizes.size() < 2)
+        PIBE_FATAL("scalebench needs at least two --sizes");
+
+    struct Row
+    {
+        serve::Json json;
+        long maxrss_kb = 0;
+    };
+    std::vector<Row> rows;
+    bool all_match = true;
+    for (uint64_t n : sizes) {
+        int fds[2];
+        if (pipe(fds) != 0)
+            PIBE_FATAL("pipe() failed");
+        const pid_t pid = fork();
+        if (pid < 0)
+            PIBE_FATAL("fork() failed");
+        if (pid == 0) {
+            close(fds[0]);
+            runScalebenchChild(n, seed, jobs, fds[1]);
+            close(fds[1]);
+            _exit(0);
+        }
+        close(fds[1]);
+        std::string text;
+        char buf[4096];
+        ssize_t got;
+        while ((got = read(fds[0], buf, sizeof buf)) > 0)
+            text.append(buf, static_cast<size_t>(got));
+        close(fds[0]);
+        int status = 0;
+        struct rusage ru = {};
+        if (wait4(pid, &status, 0, &ru) != pid ||
+            !WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            PIBE_FATAL("scalebench child for ", n, " insts failed");
+        std::optional<serve::Json> json = serve::Json::parse(text);
+        if (!json || !json->isObject())
+            PIBE_FATAL("scalebench child emitted bad JSON: ", text);
+
+        Row row;
+        row.json = *json;
+        row.maxrss_kb = ru.ru_maxrss; // Linux reports KiB
+        all_match = all_match && row.json["digests_match"].asBool();
+        std::printf("  %8llu insts: gen %6.0f ms, build %7.0f ms "
+                    "(x%.2f with %zu jobs), rss %ld MiB, errors %lld, "
+                    "digests %s\n",
+                    static_cast<unsigned long long>(n),
+                    row.json["gen_ms"].asDouble(),
+                    row.json["serial_build_ms"].asDouble(),
+                    row.json["speedup"].asDouble(), jobs,
+                    row.maxrss_kb / 1024,
+                    static_cast<long long>(
+                        row.json["check_errors"].asInt()),
+                    row.json["digests_match"].asBool() ? "match"
+                                                       : "DIFFER");
+        rows.push_back(std::move(row));
+    }
+
+    // Scaling exponents between consecutive sizes: e in t ~ n^e. An
+    // exponent meaningfully above 1 flags a superlinear blow-up.
+    double max_time_exp = 0;
+    double max_rss_exp = 0;
+    std::vector<double> time_exps(rows.size(), 0);
+    std::vector<double> rss_exps(rows.size(), 0);
+    for (size_t i = 1; i < rows.size(); ++i) {
+        const double n_ratio =
+            rows[i].json["insts"].asDouble() /
+            std::max(1.0, rows[i - 1].json["insts"].asDouble());
+        if (n_ratio <= 1)
+            continue;
+        const double t_ratio =
+            rows[i].json["serial_build_ms"].asDouble() /
+            std::max(1.0,
+                     rows[i - 1].json["serial_build_ms"].asDouble());
+        const double r_ratio =
+            static_cast<double>(rows[i].maxrss_kb) /
+            std::max(1.0, static_cast<double>(rows[i - 1].maxrss_kb));
+        time_exps[i] = std::log(std::max(t_ratio, 1e-9)) /
+                       std::log(n_ratio);
+        rss_exps[i] = std::log(std::max(r_ratio, 1e-9)) /
+                      std::log(n_ratio);
+        max_time_exp = std::max(max_time_exp, time_exps[i]);
+        max_rss_exp = std::max(max_rss_exp, rss_exps[i]);
+    }
+
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (!f)
+        PIBE_FATAL("cannot write ", out);
+    std::fprintf(f,
+                 "{\n  \"bench\": \"scale\",\n  \"seed\": %llu,\n"
+                 "  \"jobs\": %zu,\n  \"nproc\": %u,\n"
+                 "  \"all_digests_match\": %s,\n"
+                 "  \"max_time_scaling_exponent\": %.2f,\n"
+                 "  \"max_rss_scaling_exponent\": %.2f,\n"
+                 "  \"sizes\": [\n",
+                 static_cast<unsigned long long>(seed), jobs,
+                 std::thread::hardware_concurrency(),
+                 all_match ? "true" : "false", max_time_exp,
+                 max_rss_exp);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        serve::Json j = rows[i].json;
+        std::string dumped = j.dump();
+        // Graft the parent-side measurements into the child's object:
+        // strip the closing brace and append.
+        dumped.pop_back();
+        std::fprintf(f,
+                     "    %s,\"maxrss_kb\":%ld,"
+                     "\"time_scaling_exponent\":%.2f,"
+                     "\"rss_scaling_exponent\":%.2f}%s\n",
+                     dumped.c_str(), rows[i].maxrss_kb, time_exps[i],
+                     rss_exps[i], i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+
+    std::printf("wrote %s (max time exponent %.2f, max rss exponent "
+                "%.2f, digests %s)\n",
+                out.c_str(), max_time_exp, max_rss_exp,
+                all_match ? "all match" : "MISMATCH");
+    return all_match ? 0 : 1;
+}
+
 /** Signal target of `pibe serve` (one daemon per process). */
 serve::Server* g_server = nullptr;
 
@@ -746,6 +1069,7 @@ cmdServe(Args& args)
         std::stoul(args.get("--max-inflight", "0")));
     opts.default_defense = args.get("--defense", "all");
     opts.fail_on = args.get("--fail-on", "error");
+    opts.auth_token = args.get("--auth-token", envAuthToken());
 
     serve::Server server(std::move(opts));
     if (!server.start())
@@ -778,6 +1102,7 @@ cmdLoadgen(Args& args)
     opts.verify =
         static_cast<uint32_t>(std::stoul(args.get("--verify", "0")));
     opts.out_path = args.get("--out", "BENCH_serve.json");
+    opts.auth_token = args.get("--auth-token", envAuthToken());
     return serve::runLoadgen(opts);
 }
 
@@ -806,6 +1131,14 @@ cmdClient(Args& args)
             args.get("--socket", "/tmp/pibe-serve.sock"));
     if (!connected)
         PIBE_FATAL("cannot connect to the serve daemon");
+
+    const std::string token =
+        args.get("--auth-token", envAuthToken());
+    if (!token.empty()) {
+        std::string auth_error;
+        if (!client.authenticate(token, &auth_error))
+            PIBE_FATAL("authentication failed: ", auth_error);
+    }
 
     std::optional<serve::Json> response = client.call(op, params);
     if (!response)
@@ -892,8 +1225,8 @@ run(int argc, char** argv)
         std::fprintf(stderr,
                      "usage: pibe "
                      "<kernel|profile|optimize|measure|attack|stats|"
-                     "check|serve|loadgen|client|selftest> "
-                     "[options]\n");
+                     "check|genkernel|scalebench|serve|loadgen|client|"
+                     "selftest> [options]\n");
         return 2;
     }
     const std::string cmd = argv[1];
@@ -912,6 +1245,10 @@ run(int argc, char** argv)
         return cmdStats(args);
     if (cmd == "check")
         return cmdCheck(args);
+    if (cmd == "genkernel")
+        return cmdGenkernel(args);
+    if (cmd == "scalebench")
+        return cmdScalebench(args);
     if (cmd == "serve")
         return cmdServe(args);
     if (cmd == "loadgen")

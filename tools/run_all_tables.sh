@@ -10,17 +10,24 @@
 # mix against it, and merges its BENCH_serve.json (p50/p99 latency,
 # throughput, cold vs warm cache) into the output as well.
 #
-# Usage: tools/run_all_tables.sh [BUILD_DIR] [OUT_JSON] [INTERP_JSON] [SERVE_JSON]
+# It also runs `pibe scalebench` (Linux-scale generated modules
+# through the parallel pipeline, serial-vs-parallel digest identity,
+# build-time and peak-RSS curves) and merges its BENCH_scale.json under
+# the same provenance stamp.
+#
+# Usage: tools/run_all_tables.sh [BUILD_DIR] [OUT_JSON] [INTERP_JSON] [SERVE_JSON] [SCALE_JSON]
 #   BUILD_DIR   cmake build tree holding the bench binaries (default: build)
 #   OUT_JSON    output metrics file (default: BENCH_tables.json)
 #   INTERP_JSON interpreter microbench output (default: BENCH_interpreter.json)
 #   SERVE_JSON  serve loadgen output (default: BENCH_serve.json)
+#   SCALE_JSON  scalebench output (default: BENCH_scale.json)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_tables.json}"
 INTERP_JSON="${3:-BENCH_interpreter.json}"
 SERVE_JSON="${4:-BENCH_serve.json}"
+SCALE_JSON="${5:-BENCH_scale.json}"
 JOBS="$(nproc)"
 TABLES=(table5_all_defenses table6_per_defense table3_retpolines
         table7_macrobenchmarks)
@@ -95,6 +102,9 @@ done
     --op shutdown > /dev/null
 wait "$SERVE_PID"
 
+echo "== scalebench (generated modules, serial vs parallel) =="
+"$BUILD_DIR/tools/pibe" scalebench --jobs "$JOBS" --out "$SCALE_JSON"
+
 # Provenance stamp: every BENCH_*.json records where its numbers came
 # from, so checked-in baselines are auditable. The dispatch mode is
 # read back from the interpreter artifact (the binary knows which
@@ -128,6 +138,7 @@ STAMP_UTC=$(date -u +%Y-%m-%dT%H:%M:%SZ)
     echo "  \"interpreter\": $(sed 's/^/  /' "$INTERP_JSON" \
         | sed '1s/^  //'),"
     echo "  \"serve\": $(cat "$SERVE_JSON"),"
+    echo "  \"scale\": $(cat "$SCALE_JSON"),"
     echo "  \"tables\": ["
     sep=""
     for t in "${TABLES[@]}"; do
@@ -140,4 +151,4 @@ STAMP_UTC=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 echo "== done =="
 echo "serial:   ${serial_ms} ms"
 echo "parallel: ${parallel_ms} ms (speedup ${speedup}x)"
-echo "metrics:  $OUT_JSON (serve: $SERVE_JSON)"
+echo "metrics:  $OUT_JSON (serve: $SERVE_JSON, scale: $SCALE_JSON)"
