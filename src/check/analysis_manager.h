@@ -13,11 +13,13 @@
 #define PIBE_CHECK_ANALYSIS_MANAGER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "check/cfg.h"
 #include "check/dataflow.h"
 #include "check/dominators.h"
+#include "check/target_sets.h"
 
 namespace pibe::check {
 
@@ -39,6 +41,27 @@ class AnalysisManager
     const ReachingDefs& reachingDefs(ir::FuncId f);
     const DefiniteAssignment& definiteAssignment(ir::FuncId f);
 
+    /**
+     * The module-level feasible-target analysis (built lazily once,
+     * then kept incrementally up to date through invalidate()). When
+     * `roots` differs from the cached instance's roots the analysis is
+     * rebuilt from scratch.
+     */
+    TargetSetAnalysis&
+    targetSets(const std::vector<std::string>& roots = {})
+    {
+        if (targets_ && targets_->roots() != roots)
+            targets_.reset();
+        if (!targets_) {
+            targets_ =
+                std::make_unique<TargetSetAnalysis>(module_, roots);
+            ++computations_;
+        } else {
+            ++hits_;
+        }
+        return *targets_;
+    }
+
     /** Drop every cached analysis of `f` (call after mutating it). */
     void
     invalidate(ir::FuncId f)
@@ -46,6 +69,8 @@ class AnalysisManager
         // Functions added after construction have nothing cached yet.
         if (f < entries_.size())
             entries_[f] = Entry{};
+        if (targets_)
+            targets_->invalidateFunction(f);
     }
 
     /** Drop all cached analyses (call after a module-wide pass). */
@@ -54,6 +79,8 @@ class AnalysisManager
     {
         for (Entry& e : entries_)
             e = Entry{};
+        if (targets_)
+            targets_->invalidateAll();
     }
 
     /** Analyses computed since construction (cache-miss counter). */
@@ -89,6 +116,7 @@ class AnalysisManager
 
     const ir::Module& module_;
     std::vector<Entry> entries_;
+    std::unique_ptr<TargetSetAnalysis> targets_;
     size_t computations_ = 0;
     size_t hits_ = 0;
 };

@@ -32,6 +32,8 @@ class Runner
             runLints();
         if (opts_.coverage)
             runCoverage();
+        if (opts_.targets)
+            runTargets();
         if (opts_.profile_flow && opts_.profile)
             runProfileFlow();
         return std::move(report_);
@@ -461,6 +463,134 @@ class Runner
               reported.protected_rets);
         field("boot_only_rets", counted.boot_only_rets,
               reported.boot_only_rets);
+    }
+
+    // --- targets group ----------------------------------------------
+
+    /**
+     * Feasible-target validation (module-wide; see target_sets.h):
+     *
+     *  - verify.targets on global initializer slots that decode to
+     *    nonexistent functions (the op-table analogue of a corrupt
+     *    jump-table entry);
+     *  - verify.targets translation validation of ICP guard chains:
+     *    a block ending [funcaddr T; eq(ptr, addr); condbr] whose
+     *    taken block starts with a direct call to T is (shaped like)
+     *    a promotion of T at an icall through `ptr` — if the
+     *    analysis resolved `ptr` completely, T must be feasible;
+     *  - verify.targets on complete-and-empty icall sites (the call
+     *    can never resolve: dead dispatch or a seeding bug);
+     *  - coverage.targets: with a profile, every observed target of a
+     *    completely-resolved site must be inside its static set
+     *    (catches corrupt profiles and pass bugs the Kirchhoff
+     *    checker cannot see).
+     */
+    void
+    runTargets()
+    {
+        TargetSetAnalysis& tsa = am_.targetSets(opts_.roots);
+
+        for (const BadGlobalSlot& bad : tsa.badGlobalSlots()) {
+            Diagnostic& d = emit(
+                "verify.targets", Severity::kError,
+                "global '" + module_.global(bad.global).name +
+                    "' slot " + std::to_string(bad.slot) +
+                    " holds function address " +
+                    std::to_string(bad.value) +
+                    " of a nonexistent function");
+            d.hint = "a table initializer encodes a FuncId outside "
+                     "the module; indirect calls through it trap";
+        }
+
+        for (const ir::Function& f : module_.functions()) {
+            for (ir::BlockId b = 0; b < f.blocks.size(); ++b) {
+                const auto& insts = f.blocks[b].insts;
+                if (insts.size() < 3)
+                    continue;
+                const ir::Instruction& guard = insts.back();
+                const ir::Instruction& cmp = insts[insts.size() - 2];
+                const ir::Instruction& addr = insts[insts.size() - 3];
+                if (guard.op != ir::Opcode::kCondBr ||
+                    cmp.op != ir::Opcode::kBinOp ||
+                    cmp.bin != ir::BinKind::kEq ||
+                    addr.op != ir::Opcode::kFuncAddr ||
+                    guard.a != cmp.dst)
+                    continue;
+                ir::Reg ptr;
+                if (cmp.b == addr.dst)
+                    ptr = cmp.a;
+                else if (cmp.a == addr.dst)
+                    ptr = cmp.b;
+                else
+                    continue;
+                if (guard.t0 >= f.blocks.size())
+                    continue;
+                const auto& taken = f.blocks[guard.t0].insts;
+                if (taken.empty() ||
+                    taken[0].op != ir::Opcode::kCall ||
+                    taken[0].callee != addr.callee)
+                    continue;
+                // An ICP-shaped promotion of addr.callee.
+                TargetSet ts = tsa.regTargets(f.id, ptr);
+                if (!ts.incomplete && !ts.contains(addr.callee)) {
+                    Diagnostic& d = emitAt(
+                        "verify.targets", Severity::kError, f.id, b,
+                        static_cast<int32_t>(insts.size() - 3),
+                        "promoted direct call to @" +
+                            module_.func(addr.callee).name +
+                            " is outside the site's feasible target "
+                            "set (" +
+                            std::to_string(ts.targets.size()) +
+                            " targets)");
+                    d.site = taken[0].site_id;
+                    d.hint = "icp promoted a target the points-to "
+                             "analysis proves infeasible: a pass bug "
+                             "or a corrupt profile";
+                }
+            }
+        }
+
+        for (const auto& [sid, st] : tsa.sites()) {
+            if (st.complete() && st.targets.empty()) {
+                Diagnostic& d = emitAt(
+                    "verify.targets", Severity::kWarning, st.func,
+                    st.block, static_cast<int32_t>(st.index),
+                    "indirect call can never resolve: its feasible "
+                    "target set is complete and empty");
+                d.site = sid;
+                d.hint = "dead dispatch code, or a table that is "
+                         "never seeded with function addresses";
+            }
+        }
+
+        if (opts_.profile) {
+            for (const auto& [site, targets] :
+                 opts_.profile->indirectSites()) {
+                const SiteTargets* st = tsa.site(site);
+                if (!st || st->incomplete)
+                    continue;
+                for (const auto& [target, count] : targets) {
+                    if (count == 0)
+                        continue;
+                    if (target >= module_.numFunctions())
+                        continue; // profile.unresolved-func covers it.
+                    if (std::binary_search(st->targets.begin(),
+                                           st->targets.end(), target))
+                        continue;
+                    Diagnostic& d = emitAt(
+                        "coverage.targets", Severity::kError, st->func,
+                        st->block, static_cast<int32_t>(st->index),
+                        "profile-observed target @" +
+                            module_.func(target).name +
+                            " is outside the site's complete static "
+                            "target set");
+                    d.site = site;
+                    d.hint = "the profile disagrees with the "
+                             "points-to analysis: a corrupt/stale "
+                             "profile, or an analysis soundness bug";
+                }
+            }
+        }
     }
 
     // --- profile group ----------------------------------------------

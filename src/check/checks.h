@@ -2,7 +2,7 @@
  * @file
  * The PIBE audit suite (`pibe check`).
  *
- * Four checker groups over one module, all emitting structured
+ * Five checker groups over one module, all emitting structured
  * Diagnostics:
  *
  *  - verify    : the structural verifier (ir::verifyModule), surfaced
@@ -21,6 +21,12 @@
  *                allowlist; counts are reconciled against
  *                harden::analyzeCoverage so the audit and the report
  *                can never drift apart silently;
+ *  - targets   : interprocedural feasible-target validation — every
+ *                ICP-promoted guarded direct call and every global
+ *                function-pointer table entry must be inside the
+ *                site's statically feasible target set (translation
+ *                validation of opt/icp.cc), and profile-observed
+ *                targets must be a subset of complete static sets;
  *  - profile   : Kirchhoff-style flow conservation of an EdgeProfile
  *                against the module — per-function invocation counts
  *                equal the sum of incoming profiled call-edge counts
@@ -52,6 +58,15 @@ struct CheckOptions
     bool coverage = false;
     /** Audit `profile` flow conservation (requires `profile`). */
     bool profile_flow = false;
+    /**
+     * Run the target-set checkers (module-wide; see target_sets.h):
+     * `verify.targets` validates every ICP guard chain and global
+     * function-pointer table entry against the interprocedural
+     * feasible-target analysis, and — when `profile` is set —
+     * `coverage.targets` checks profile-observed targets against the
+     * static sets.
+     */
+    bool targets = false;
 
     harden::DefenseConfig defense;
     const profile::EdgeProfile* profile = nullptr;

@@ -1,6 +1,8 @@
 #include "check/diagnostic.h"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace pibe::check {
 
@@ -84,6 +86,22 @@ Diagnostic::renderJson() const
         os << ",\"hint\":\"" << jsonEscape(hint) << "\"";
     os << "}";
     return os.str();
+}
+
+void
+sortDiagnostics(std::vector<Diagnostic>& diags)
+{
+    // kInvalidFunc is the largest FuncId, so module-scoped findings
+    // naturally sort last.
+    auto key = [](const Diagnostic& d) {
+        return std::make_tuple(d.func, d.block, d.inst,
+                               std::cref(d.check_id), d.site,
+                               std::cref(d.message));
+    };
+    std::stable_sort(diags.begin(), diags.end(),
+                     [&](const Diagnostic& a, const Diagnostic& b) {
+                         return key(a) < key(b);
+                     });
 }
 
 size_t

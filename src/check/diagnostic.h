@@ -58,6 +58,17 @@ struct Diagnostic
 /** Count of diagnostics at exactly `s`. */
 size_t countSeverity(const std::vector<Diagnostic>& diags, Severity s);
 
+/**
+ * Sort diagnostics into the canonical emission order: (function,
+ * block, instruction, check id, site, message), module-scoped
+ * findings last. Checkers emit in whatever order they traverse, which
+ * differs between serial and sharded parallel runs; sorting at the
+ * output boundary makes `pibe check --json` and sandwich reports diff
+ * cleanly across `--jobs` settings. Stable, so equal-keyed findings
+ * keep their emission order.
+ */
+void sortDiagnostics(std::vector<Diagnostic>& diags);
+
 /** Render one diagnostic per line. */
 std::string renderText(const std::vector<Diagnostic>& diags);
 

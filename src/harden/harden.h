@@ -92,6 +92,15 @@ struct CoverageReport
     uint32_t protected_rets = 0;
     uint32_t boot_only_rets = 0;     ///< Unprotected but boot-only.
     uint32_t lowered_switches = 0;   ///< Jump tables eliminated.
+
+    // ICP interaction, filled in by the pipeline from IcpAudit (the
+    // module alone cannot recover them, so analyzeCoverage() leaves
+    // both zero and the coverage reconciler ignores them).
+    /** Fallback icalls still holding live targets because a per-site
+     *  promotion cap truncated the guard chain (residual surface). */
+    uint32_t capped_residual_icalls = 0;
+    /** Fallback icalls eliminated by total promotion. */
+    uint32_t elided_icalls = 0;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <set>
 
 #include "support/logging.h"
 
@@ -47,11 +48,17 @@ findICall(ir::Function& f, ir::SiteId site, ir::BlockId* block,
  * The direct calls take their pre-assigned ids from `direct_sites`
  * (aligned with `targets`); no allocator access, so rewrites of
  * distinct functions are safe to run concurrently.
+ *
+ * With `drop_fallback` (total promotion: the target set is complete
+ * and fully covered) the last target is emitted as an unguarded direct
+ * call and the fallback indirect call is dropped — the site's indirect
+ * branch vanishes entirely.
  */
 void
 promoteSite(ir::Function& f, ir::BlockId bb_id, uint32_t idx,
             const std::vector<ir::FuncId>& targets,
-            const std::vector<ir::SiteId>& direct_sites)
+            const std::vector<ir::SiteId>& direct_sites,
+            bool drop_fallback)
 {
     PIBE_ASSERT(targets.size() == direct_sites.size(),
                 "promoteSite: targets/sites misaligned");
@@ -72,7 +79,11 @@ promoteSite(ir::Function& f, ir::BlockId bb_id, uint32_t idx,
     }
 
     ir::BlockId cur = bb_id;
-    for (size_t t = 0; t < targets.size(); ++t) {
+    // With drop_fallback the final target needs no guard: the set is
+    // exhaustive, so "none of the others" implies the last one.
+    const size_t guarded =
+        drop_fallback ? targets.size() - 1 : targets.size();
+    for (size_t t = 0; t < guarded; ++t) {
         const ir::FuncId target = targets[t];
         // cur: addr = funcaddr target; cond = (ptr == addr);
         //      condbr cond, call_block, next_block
@@ -122,6 +133,24 @@ promoteSite(ir::Function& f, ir::BlockId bb_id, uint32_t idx,
         call_insts.push_back(br);
 
         cur = next_block;
+    }
+
+    if (drop_fallback) {
+        // Terminal direct call to the last feasible target; the
+        // indirect call (and its site id) is gone.
+        ir::Instruction direct;
+        direct.op = ir::Opcode::kCall;
+        direct.dst = icall.dst;
+        direct.callee = targets.back();
+        direct.args = icall.args;
+        direct.site_id = direct_sites.back();
+        ir::Instruction br;
+        br.op = ir::Opcode::kBr;
+        br.t0 = cont;
+        auto& insts = f.blocks[cur].insts;
+        insts.push_back(std::move(direct));
+        insts.push_back(br);
+        return;
     }
 
     // Fallback: the original indirect call (keeps its site id and any
@@ -208,17 +237,25 @@ planIcp(const ir::Module& module, const profile::EdgeProfile& profile,
     const double target_weight =
         config.budget * static_cast<double>(audit.total_weight);
     std::map<ir::SiteId, std::vector<PromotionCandidate>> chosen;
+    std::set<ir::SiteId> capped;
     double cum = 0;
     for (const auto& c : candidates) {
         if (cum >= target_weight)
             break;
-        cum += static_cast<double>(c.count);
         auto& list = chosen[c.site];
         if (config.max_targets_per_site != 0 &&
-            list.size() >= config.max_targets_per_site)
+            list.size() >= config.max_targets_per_site) {
+            // The cap drops this candidate, leaving its weight on the
+            // fallback icall: residual surface the coverage report
+            // must count. It must not consume budget either, or a
+            // capped hot site would starve colder promotable ones.
+            capped.insert(c.site);
             continue;
+        }
+        cum += static_cast<double>(c.count);
         list.push_back(c);
     }
+    audit.capped_sites = static_cast<uint32_t>(capped.size());
 
     // Pre-assign direct-call site ids in (site, target-rank) order —
     // exactly the order a serial allocSiteId() walk would produce.
@@ -230,6 +267,66 @@ planIcp(const ir::Module& module, const profile::EdgeProfile& profile,
             sp.targets.push_back(c.target);
             sp.direct_sites.push_back(plan.site_id_bound++);
         }
+
+        // Total-promotion safety (the Switchpoline precondition): the
+        // static set is complete, non-empty, within the size bound,
+        // every feasible target is promotable as a direct call, and
+        // every profiled target is inside the set (so dropping the
+        // fallback strands no observed weight).
+        const SiteFeasibility* feas = nullptr;
+        if (config.feasibility) {
+            auto fit = config.feasibility->find(site);
+            if (fit != config.feasibility->end())
+                feas = &fit->second;
+        }
+        if (feas && feas->complete && !feas->targets.empty() &&
+            feas->targets.size() <= config.total_promotion_max_targets) {
+            const ir::Instruction* icall = icall_by_site[site];
+            bool safe = true;
+            for (ir::FuncId t : feas->targets) {
+                if (t >= module.numFunctions() ||
+                    module.func(t).num_params != icall->args.size()) {
+                    safe = false;
+                    break;
+                }
+            }
+            if (safe) {
+                auto pit = profile.indirectSites().find(site);
+                if (pit != profile.indirectSites().end()) {
+                    for (const auto& [target, count] : pit->second) {
+                        if (count == 0)
+                            continue;
+                        if (!std::binary_search(feas->targets.begin(),
+                                                feas->targets.end(),
+                                                target)) {
+                            safe = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if (safe) {
+                sp.total_promotion_safe = true;
+                ++audit.total_safe_sites;
+                // A per-site cap wins over total promotion: never
+                // expand a site beyond what the cap allows.
+                bool cap_allows =
+                    config.max_targets_per_site == 0 ||
+                    feas->targets.size() <= config.max_targets_per_site;
+                if (config.total_promotion && cap_allows) {
+                    for (ir::FuncId t : feas->targets) {
+                        if (std::find(sp.targets.begin(),
+                                      sp.targets.end(),
+                                      t) != sp.targets.end())
+                            continue;
+                        sp.targets.push_back(t);
+                        sp.direct_sites.push_back(plan.site_id_bound++);
+                    }
+                    sp.drop_fallback = true;
+                }
+            }
+        }
+
         plan.by_func[sp.func].push_back(plan.sites.size());
         plan.sites.push_back(std::move(sp));
     }
@@ -252,7 +349,8 @@ applyIcpFunction(ir::Module& module, ir::FuncId func, IcpPlan& plan)
         // (within this function only).
         if (!findICall(f, sp.site, &block, &index))
             continue;
-        promoteSite(f, block, index, sp.targets, sp.direct_sites);
+        promoteSite(f, block, index, sp.targets, sp.direct_sites,
+                    sp.drop_fallback);
         sp.applied = true;
     }
 }
@@ -265,6 +363,8 @@ finalizeIcp(IcpPlan& plan, profile::EdgeProfile& profile)
         if (!sp.applied)
             continue;
         ++audit.promoted_sites;
+        if (sp.drop_fallback)
+            ++audit.fallbacks_dropped;
         audit.touched.push_back(sp.func);
         for (size_t i = 0; i < sp.targets.size(); ++i) {
             uint64_t moved =
@@ -272,6 +372,22 @@ finalizeIcp(IcpPlan& plan, profile::EdgeProfile& profile)
             profile.addDirect(sp.direct_sites[i], moved);
             audit.promoted_weight += moved;
             ++audit.promoted_targets;
+        }
+        if (sp.drop_fallback) {
+            // The site id no longer exists in the module; drain any
+            // leftover (zero-count) value-profile entries so the
+            // profile-flow checker sees no dangling site. All live
+            // weight was consumed above (profiled ⊆ feasible is a
+            // total_promotion_safe precondition).
+            auto it = profile.indirectSites().find(sp.site);
+            if (it != profile.indirectSites().end()) {
+                std::vector<ir::FuncId> rest;
+                for (const auto& [target, count] : it->second)
+                    rest.push_back(target);
+                for (ir::FuncId target : rest)
+                    audit.promoted_weight +=
+                        profile.consumeIndirect(sp.site, target);
+            }
         }
     }
     std::sort(audit.touched.begin(), audit.touched.end());

@@ -26,6 +26,24 @@
 
 namespace pibe::opt {
 
+/**
+ * Static feasibility of one indirect call site, as computed by the
+ * target-set analysis (check/target_sets.h). Defined here as a plain
+ * value type so the optimizer does not depend on the checker library:
+ * callers that want total promotion compute the map and pass it in.
+ */
+struct SiteFeasibility
+{
+    /** Every flow into the site's pointer was resolved; `targets` is
+     *  then exhaustive, not just a lower bound. */
+    bool complete = false;
+    /** Sorted, unique feasible targets. */
+    std::vector<ir::FuncId> targets;
+};
+
+/** Per-site feasibility, keyed by the icall's SiteId. */
+using FeasibilityMap = std::map<ir::SiteId, SiteFeasibility>;
+
 /** Tuning knobs for runIcp(). */
 struct IcpConfig
 {
@@ -33,6 +51,24 @@ struct IcpConfig
     double budget = 0.99999;
     /** Optional cap on targets per site (0 = unlimited, the default). */
     uint32_t max_targets_per_site = 0;
+    /**
+     * Optional static target-set feasibility. When present, sites
+     * whose set is complete, non-empty, and small are flagged
+     * `total_promotion_safe` in the plan (the Switchpoline
+     * precondition). Not owned; must outlive the pass.
+     */
+    const FeasibilityMap* feasibility = nullptr;
+    /**
+     * Promote *every* feasible target of total_promotion-safe sites
+     * and drop the fallback indirect call entirely — the site's full
+     * target set is covered by guarded direct calls, so the indirect
+     * branch (and its speculation surface) vanishes. Requires
+     * `feasibility`. Off by default: the classic PIBE chain keeps the
+     * fallback.
+     */
+    bool total_promotion = false;
+    /** Feasible-set size bound for total_promotion_safe. */
+    uint32_t total_promotion_max_targets = 8;
 };
 
 /** Outcome accounting for Tables 4, 8, and 10. */
@@ -52,6 +88,15 @@ struct IcpAudit
     uint32_t candidate_targets = 0;
     /** All indirect call sites in the module (Table 10 denominator). */
     uint32_t total_icall_sites = 0;
+    /** Sites where max_targets_per_site truncated promotion: their
+     *  fallback icall keeps live targets (residual attack surface the
+     *  coverage report must count). */
+    uint32_t capped_sites = 0;
+    /** Sites flagged total_promotion_safe (complete feasible set of
+     *  1..total_promotion_max_targets covered targets). */
+    uint32_t total_safe_sites = 0;
+    /** Fallback icalls actually dropped by total promotion. */
+    uint32_t fallbacks_dropped = 0;
     /** Functions mutated by the pass (sorted, unique) — the incremental
      *  invalidation set for a following audit stage. */
     std::vector<ir::FuncId> touched;
@@ -79,6 +124,13 @@ struct IcpSitePlan
     std::vector<ir::FuncId> targets;
     /** Pre-assigned direct-call site ids, aligned with `targets`. */
     std::vector<ir::SiteId> direct_sites;
+    /** The site's feasible set is complete, small, and entirely
+     *  covered by `targets` (Switchpoline precondition). */
+    bool total_promotion_safe = false;
+    /** Emit the last target as an unguarded direct call and drop the
+     *  fallback icall (only set when total_promotion_safe and total
+     *  promotion is enabled). */
+    bool drop_fallback = false;
     /** Set by applyIcpFunction when the rewrite landed. */
     bool applied = false;
 };

@@ -2,6 +2,7 @@
 
 #include "analysis/layout.h"
 #include "check/sandwich.h"
+#include "check/target_sets.h"
 #include "ir/verifier.h"
 #include "opt/cleanup.h"
 
@@ -71,6 +72,10 @@ buildImage(const ir::Module& linked, const profile::EdgeProfile& profile,
         check::CheckOptions copts;
         copts.coverage = coverage;
         copts.defense = defenses;
+        // Feasible-target validation at every stage: ICP guard chains
+        // and op-table entries must stay inside the statically
+        // feasible sets (fresh verify.targets errors are fatal).
+        copts.targets = true;
         // Flow conservation only holds for the profile as collected;
         // the inliners inherit edge weights into cloned sites without
         // subtracting them from the originals, so the invariants are
@@ -91,6 +96,18 @@ buildImage(const ir::Module& linked, const profile::EdgeProfile& profile,
     if (opt.enable_icp) {
         opt::IcpConfig cfg;
         cfg.budget = opt.icp_budget;
+        cfg.max_targets_per_site = opt.icp_max_targets;
+        opt::FeasibilityMap feas;
+        if (opt.icp_total_promotion) {
+            // Snapshot the pre-ICP feasible sets; the planner drops
+            // fallback icalls only where the set is complete and
+            // fully covered by guarded direct calls.
+            feas = check::feasibilityMap(am.targetSets());
+            cfg.feasibility = &feas;
+            cfg.total_promotion = true;
+            cfg.total_promotion_max_targets =
+                opt.icp_total_promotion_max_targets;
+        }
         rep.icp = opt::runIcp(image, working, cfg);
         invalidateTouched(rep.icp.touched);
         audit("icp", false, false);
@@ -129,6 +146,11 @@ buildImage(const ir::Module& linked, const profile::EdgeProfile& profile,
 
     std::vector<ir::FuncId> harden_touched;
     rep.coverage = harden::applyDefenses(image, defenses, &harden_touched);
+    // ICP residue accounting: analyzeCoverage cannot recover these
+    // from the module alone, so the pipeline fills them from the
+    // promotion audit (satisfying Table 6/11's surface columns).
+    rep.coverage.capped_residual_icalls = rep.icp.capped_sites;
+    rep.coverage.elided_icalls = rep.icp.fallbacks_dropped;
     invalidateTouched(harden_touched);
     audit("harden", /*coverage=*/true, /*profile_flow=*/false);
 

@@ -38,6 +38,20 @@ struct OptConfig
     bool enable_icp = true;
     /** ICP cumulative-weight budget (§5.3). */
     double icp_budget = 0.99999;
+    /** Per-site promotion cap (0 = unlimited). When a cap truncates a
+     *  guard chain the residual fallback icall is counted in
+     *  CoverageReport::capped_residual_icalls. */
+    uint32_t icp_max_targets = 0;
+    /**
+     * Total promotion: compute the interprocedural feasible-target
+     * sets (check/target_sets.h), and at sites whose set is complete
+     * and small, promote every feasible target and drop the fallback
+     * indirect call (Switchpoline precondition). The eliminated sites
+     * are counted in CoverageReport::elided_icalls.
+     */
+    bool icp_total_promotion = false;
+    /** Feasible-set size bound for total promotion. */
+    uint32_t icp_total_promotion_max_targets = 8;
 
     InlinerKind inliner = InlinerKind::kPibe;
     /** Inlining cumulative-weight budget (§5.2 Rule 1). */

@@ -38,7 +38,16 @@ runIcpStage(ir::Module& image, profile::EdgeProfile& working,
             const ParallelPipelineConfig& config,
             runtime::ThreadPool& pool, ParallelPipelineReport& rep)
 {
-    opt::IcpPlan plan = opt::planIcp(image, working, config.icp);
+    // Total promotion needs the feasible-target sets; compute them
+    // here (serially, pre-ICP) when the caller did not supply a map.
+    opt::IcpConfig icfg = config.icp;
+    opt::FeasibilityMap feas;
+    if (icfg.total_promotion && !icfg.feasibility) {
+        check::TargetSetAnalysis tsa(image);
+        feas = check::feasibilityMap(tsa);
+        icfg.feasibility = &feas;
+    }
+    opt::IcpPlan plan = opt::planIcp(image, working, icfg);
 
     // All fresh ids were pre-assigned at plan time; reserve them
     // before any rewrite so concurrent applications never allocate.
@@ -417,6 +426,10 @@ runHardenAndCheckStage(ir::Module& image,
     rep.coverage = harden::analyzeCoverage(image);
     rep.coverage.lowered_switches =
         switches_before - opt::countSwitches(image);
+    // ICP residue accounting, recovered from the promotion audit
+    // (mirrors core::buildImage).
+    rep.coverage.capped_residual_icalls = rep.icp.capped_sites;
+    rep.coverage.elided_icalls = rep.icp.fallbacks_dropped;
 
     if (!config.run_checks)
         return;
@@ -444,10 +457,15 @@ runHardenAndCheckStage(ir::Module& image,
     mopts.verify = false;
     mopts.lint = false;
     mopts.coverage = true;
+    mopts.targets = true; // Feasible-target validation (module-wide).
     mopts.defense = config.defenses;
     check::CheckReport mod = check::runChecks(image, mopts);
     rep.checks.diags.insert(rep.checks.diags.end(),
                             mod.diags.begin(), mod.diags.end());
+    // Canonical order: shard fan-out merges findings in shard order,
+    // which depends on shard_size; sorting makes serial and --jobs N
+    // reports diff cleanly.
+    check::sortDiagnostics(rep.checks.diags);
     rep.timing.check_ms = msSince(*check_start);
 }
 

@@ -886,5 +886,47 @@ TEST(Sandwich, ModuleCleanupStagePreservesBehaviour)
     }
 }
 
+TEST(Diagnostics, SortIsCanonicalAndDeterministic)
+{
+    auto mk = [](ir::FuncId f, ir::BlockId b, int32_t i,
+                 const char* id) {
+        Diagnostic d;
+        d.severity = Severity::kWarning;
+        d.func = f;
+        d.block = b;
+        d.inst = i;
+        d.check_id = id;
+        d.message = "m";
+        return d;
+    };
+    // Emission order leaks checker scheduling: group-by-group, with a
+    // module-scoped finding in front.
+    std::vector<Diagnostic> diags = {
+        mk(ir::kInvalidFunc, 0, -1, "coverage.reconcile"),
+        mk(2, 0, 3, "lint.dead-store"),
+        mk(1, 1, 0, "verify.targets"),
+        mk(1, 0, 5, "lint.dead-store"),
+        mk(1, 0, 5, "verify.use-before-def"),
+        mk(2, 0, 1, "verify.targets"),
+    };
+    std::vector<Diagnostic> shuffled = {diags[3], diags[0], diags[5],
+                                        diags[1], diags[2], diags[4]};
+    check::sortDiagnostics(diags);
+    check::sortDiagnostics(shuffled);
+    ASSERT_EQ(diags.size(), shuffled.size());
+    for (size_t i = 0; i < diags.size(); ++i) {
+        EXPECT_EQ(diags[i].render(), shuffled[i].render())
+            << "sorted order must not depend on emission order";
+    }
+    // Canonical order: (func, block, inst, check id); module-scoped
+    // findings (func == kInvalidFunc) last.
+    EXPECT_EQ(diags.front().func, 1u);
+    EXPECT_EQ(diags.front().check_id, "lint.dead-store");
+    EXPECT_EQ(diags[1].check_id, "verify.use-before-def");
+    EXPECT_EQ(diags.back().check_id, "coverage.reconcile");
+    for (size_t i = 1; i < diags.size(); ++i)
+        EXPECT_LE(diags[i - 1].func, diags[i].func);
+}
+
 } // namespace
 } // namespace pibe

@@ -1,6 +1,8 @@
 /** @file Tests for indirect call promotion. */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "ir/builder.h"
 #include "opt/icp.h"
 #include "tests/test_util.h"
@@ -213,6 +215,115 @@ TEST(Icp, MaxTargetsPerSiteCap)
     cfg.max_targets_per_site = 2;
     auto audit = opt::runIcp(d.m, p, cfg);
     EXPECT_EQ(audit.promoted_targets, 2u);
+    // The truncated site keeps a live fallback icall: residual
+    // surface the coverage accounting must see.
+    EXPECT_EQ(audit.capped_sites, 1u);
+    EXPECT_EQ(countOpcode(d.m.func(d.dispatcher), Opcode::kICall), 1u);
+}
+
+/** FeasibilityMap asserting the dispatch site's complete 3-target set. */
+opt::FeasibilityMap
+dispatchFeasibility(const DispatchModule& d, bool complete = true)
+{
+    opt::FeasibilityMap fm;
+    opt::SiteFeasibility sf;
+    sf.complete = complete;
+    sf.targets = {d.t0, d.t1, d.t2};
+    std::sort(sf.targets.begin(), sf.targets.end());
+    fm.emplace(d.site, std::move(sf));
+    return fm;
+}
+
+TEST(Icp, TotalPromotionDropsFallback)
+{
+    DispatchModule d = makeDispatchModule();
+    auto before = test::runScript(d.m, d.dispatcher, dispatchArgs());
+    profile::EdgeProfile p;
+    p.addIndirect(d.site, d.t0, 300);
+    p.addIndirect(d.site, d.t1, 200);
+    p.addIndirect(d.site, d.t2, 100);
+    opt::FeasibilityMap fm = dispatchFeasibility(d);
+    opt::IcpConfig cfg;
+    cfg.feasibility = &fm;
+    cfg.total_promotion = true;
+    auto audit = opt::runIcp(d.m, p, cfg);
+    EXPECT_EQ(audit.total_safe_sites, 1u);
+    EXPECT_EQ(audit.fallbacks_dropped, 1u);
+    EXPECT_EQ(countOpcode(d.m.func(d.dispatcher), Opcode::kICall), 0u)
+        << "the indirect branch must be gone";
+    EXPECT_TRUE(test::verifies(d.m));
+    EXPECT_EQ(before, test::runScript(d.m, d.dispatcher, dispatchArgs()));
+    // All weight drained onto direct edges: nothing indirect left.
+    EXPECT_EQ(p.indirectCount(d.site), 0u);
+    EXPECT_EQ(audit.promoted_weight, audit.total_weight);
+}
+
+TEST(Icp, TotalPromotionCoversUnprofiledTargets)
+{
+    DispatchModule d = makeDispatchModule();
+    auto before = test::runScript(d.m, d.dispatcher, dispatchArgs());
+    profile::EdgeProfile p;
+    p.addIndirect(d.site, d.t0, 1000); // t1/t2 never observed
+    opt::FeasibilityMap fm = dispatchFeasibility(d);
+    opt::IcpConfig cfg;
+    cfg.feasibility = &fm;
+    cfg.total_promotion = true;
+    auto audit = opt::runIcp(d.m, p, cfg);
+    EXPECT_EQ(audit.fallbacks_dropped, 1u);
+    EXPECT_EQ(countOpcode(d.m.func(d.dispatcher), Opcode::kICall), 0u);
+    // Semantics hold for the *unprofiled* selectors too: the appended
+    // feasible targets cover them.
+    EXPECT_EQ(before, test::runScript(d.m, d.dispatcher, dispatchArgs()));
+}
+
+TEST(Icp, TotalPromotionUnsafeWhenIncomplete)
+{
+    DispatchModule d = makeDispatchModule();
+    profile::EdgeProfile p;
+    p.addIndirect(d.site, d.t0, 300);
+    opt::FeasibilityMap fm = dispatchFeasibility(d, /*complete=*/false);
+    opt::IcpConfig cfg;
+    cfg.feasibility = &fm;
+    cfg.total_promotion = true;
+    auto audit = opt::runIcp(d.m, p, cfg);
+    EXPECT_EQ(audit.total_safe_sites, 0u);
+    EXPECT_EQ(audit.fallbacks_dropped, 0u);
+    EXPECT_EQ(countOpcode(d.m.func(d.dispatcher), Opcode::kICall), 1u)
+        << "an incomplete set must keep the fallback";
+}
+
+TEST(Icp, TotalPromotionRespectsMaxTargets)
+{
+    DispatchModule d = makeDispatchModule();
+    profile::EdgeProfile p;
+    p.addIndirect(d.site, d.t0, 300);
+    opt::FeasibilityMap fm = dispatchFeasibility(d);
+    opt::IcpConfig cfg;
+    cfg.feasibility = &fm;
+    cfg.total_promotion = true;
+    cfg.total_promotion_max_targets = 2; // feasible set has 3
+    auto audit = opt::runIcp(d.m, p, cfg);
+    EXPECT_EQ(audit.total_safe_sites, 0u);
+    EXPECT_EQ(audit.fallbacks_dropped, 0u);
+    EXPECT_EQ(countOpcode(d.m.func(d.dispatcher), Opcode::kICall), 1u);
+}
+
+TEST(Icp, PerSiteCapWinsOverTotalPromotion)
+{
+    DispatchModule d = makeDispatchModule();
+    profile::EdgeProfile p;
+    p.addIndirect(d.site, d.t0, 300);
+    p.addIndirect(d.site, d.t1, 200);
+    p.addIndirect(d.site, d.t2, 100);
+    opt::FeasibilityMap fm = dispatchFeasibility(d);
+    opt::IcpConfig cfg;
+    cfg.feasibility = &fm;
+    cfg.total_promotion = true;
+    cfg.max_targets_per_site = 2; // cannot cover all 3 feasible
+    auto audit = opt::runIcp(d.m, p, cfg);
+    EXPECT_EQ(audit.fallbacks_dropped, 0u);
+    EXPECT_EQ(audit.capped_sites, 1u);
+    EXPECT_EQ(countOpcode(d.m.func(d.dispatcher), Opcode::kICall), 1u);
 }
 
 /** Property: ICP preserves semantics on random icall-bearing modules. */

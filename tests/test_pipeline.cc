@@ -132,6 +132,42 @@ TEST_F(PipelineTest, FullPipelinePreservesKernelBehaviour)
     EXPECT_GT(report.icp.promoted_sites, 0u);
 }
 
+TEST_F(PipelineTest, TotalPromotionElidesIcallsAndPreservesBehaviour)
+{
+    OptConfig cfg = OptConfig::icpAndInline(0.999);
+    cfg.icp_total_promotion = true;
+    // The kernel's big op tables exceed the default bound of 8; raise
+    // it so the medium-sized driver/protocol tables qualify.
+    cfg.icp_total_promotion_max_targets = 30;
+    BuildReport report;
+    ir::Module optimized =
+        core::buildImage(image_->module, *profile_, cfg,
+                         DefenseConfig::all(), &report);
+    EXPECT_TRUE(ir::verifyModule(optimized).empty());
+    EXPECT_GT(report.icp.total_safe_sites, 0u);
+    EXPECT_GT(report.icp.fallbacks_dropped, 0u);
+    // Table 6/11 accounting: elided sites flow into the coverage row.
+    EXPECT_EQ(report.coverage.elided_icalls,
+              report.icp.fallbacks_dropped);
+    EXPECT_EQ(runKernelScript(optimized, image_->info), *reference_);
+}
+
+TEST_F(PipelineTest, PerSiteCapCountsResidualSurface)
+{
+    OptConfig cfg = OptConfig::icpOnly(0.99999);
+    cfg.icp_max_targets = 1;
+    BuildReport report;
+    ir::Module optimized =
+        core::buildImage(image_->module, *profile_, cfg,
+                         DefenseConfig::retpolinesOnly(), &report);
+    EXPECT_GT(report.icp.capped_sites, 0u);
+    // A capped site's fallback icall is residual attack surface; the
+    // coverage report must count it.
+    EXPECT_EQ(report.coverage.capped_residual_icalls,
+              report.icp.capped_sites);
+    EXPECT_EQ(runKernelScript(optimized, image_->info), *reference_);
+}
+
 TEST_F(PipelineTest, DefaultInlinerAlsoPreservesBehaviour)
 {
     OptConfig cfg = OptConfig::icpAndInline(0.999);

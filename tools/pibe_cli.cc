@@ -18,9 +18,12 @@
  *   pibe attack   -m image.pir [--kind spectre-v2|ret2spec|lvi]
  *   pibe stats    -m file.pir
  *   pibe check    -m file.pir [-p prof.txt] [--defense NAME]
- *                 [--checks verify,lint,coverage,profile] [--json]
- *                 [--fail-on note|warn|error] [--roots a,b,c]
+ *                 [--checks verify,lint,coverage,profile,targets]
+ *                 [--json] [--fail-on note|warn|error] [--roots a,b,c]
  *                 [--allow-func f,g] [--allow-site 1,2]
+ *   pibe surface  -m file.pir [-p prof.txt] [--json FILE]
+ *                 [--max-targets N] [--fail-on note|warn|error]
+ *                 [--roots a,b,c]
  *   pibe serve    [--socket PATH] [--tcp PORT] [--jobs N]
  *                 [--cache-dir DIR] [--cache-budget BYTES]
  *                 [--drivers N] [--seed S] [--profile-iters N]
@@ -62,6 +65,7 @@
 #include <vector>
 
 #include "check/checks.h"
+#include "check/target_sets.h"
 #include "harden/harden.h"
 #include "ir/parser.h"
 #include "pibe/engine.h"
@@ -672,6 +676,10 @@ cmdCheck(Args& args)
     ir::Module m = ir::parseModule(readFile(path));
 
     check::CheckOptions opts;
+    // Feasible-target validation is on by default: it needs no extra
+    // inputs and is the translation-validation layer for ICP guard
+    // chains and op-table entries.
+    opts.targets = true;
     profile::EdgeProfile prof;
     const std::string prof_path = args.get("-p");
     if (!prof_path.empty()) {
@@ -687,7 +695,7 @@ cmdCheck(Args& args)
     const std::string checks = args.get("--checks");
     if (!checks.empty()) {
         opts.verify = opts.lint = opts.coverage = opts.profile_flow =
-            false;
+            opts.targets = false;
         for (const std::string& c : splitList(checks)) {
             if (c == "verify")
                 opts.verify = true;
@@ -697,10 +705,12 @@ cmdCheck(Args& args)
                 opts.coverage = true;
             else if (c == "profile")
                 opts.profile_flow = true;
+            else if (c == "targets")
+                opts.targets = true;
             else
                 PIBE_FATAL("unknown check group '", c,
                            "' (expected verify, lint, coverage, "
-                           "profile)");
+                           "profile, targets)");
         }
         if (opts.profile_flow && !opts.profile)
             PIBE_FATAL("--checks profile requires -p <profile>");
@@ -725,6 +735,10 @@ cmdCheck(Args& args)
     // so --fail-on semantics cannot drift between entry points.
     check::CheckOutcome outcome =
         check::runChecksWithPolicy(m, opts, *threshold);
+    // Canonical emission order: checkers append group-by-group, so
+    // without this the order would leak scheduling details into the
+    // JSON consumed by CI diffs.
+    check::sortDiagnostics(outcome.report.diags);
     const check::CheckReport& report = outcome.report;
     if (args.has("--json")) {
         std::printf("{\"module\":\"%s\",\"errors\":%zu,"
@@ -738,6 +752,65 @@ cmdCheck(Args& args)
         std::printf("%s: %zu error(s), %zu warning(s), %zu note(s)\n",
                     path.c_str(), report.errors(), report.warnings(),
                     report.notes());
+    }
+    return outcome.passed ? 0 : 1;
+}
+
+/**
+ * `pibe surface` — run the interprocedural target-set analysis and
+ * report the residual attack surface per defense configuration: how
+ * many indirect call sites each forward-edge scheme leaves reachable,
+ * the feasible-set size distribution, and the AIR-style score. The
+ * structural verifiers and target-set checkers gate the report, so a
+ * module that fails translation validation exits nonzero.
+ */
+int
+cmdSurface(Args& args)
+{
+    const std::string path = args.get("-m", "kernel.pir");
+    ir::Module m = ir::parseModule(readFile(path));
+
+    check::CheckOptions opts;
+    opts.lint = false; // style findings are noise for an audit report
+    opts.targets = true;
+    profile::EdgeProfile prof;
+    const std::string prof_path = args.get("-p");
+    if (!prof_path.empty()) {
+        // With a profile, coverage.targets additionally proves every
+        // observed target lies inside its site's static set.
+        prof = profile::liftProfile(m, readFile(prof_path));
+        opts.profile = &prof;
+    }
+    opts.roots = splitList(args.get("--roots"));
+
+    const std::string fail_on = args.get("--fail-on", "error");
+    std::optional<check::Severity> threshold =
+        check::severityFromName(fail_on);
+    if (!threshold)
+        PIBE_FATAL("unknown --fail-on '", fail_on,
+                   "' (expected note, warn, or error)");
+    const uint32_t max_targets = static_cast<uint32_t>(
+        std::stoul(args.get("--max-targets", "8")));
+
+    // Share one AnalysisManager between the checkers and the report so
+    // the points-to solve runs once.
+    check::AnalysisManager am(m);
+    check::CheckOutcome outcome =
+        check::runChecksWithPolicy(m, opts, *threshold, &am);
+    check::sortDiagnostics(outcome.report.diags);
+    if (!outcome.report.diags.empty())
+        std::printf("%s",
+                    check::renderText(outcome.report.diags).c_str());
+
+    check::SurfaceReport rep =
+        check::buildSurfaceReport(am.targetSets(opts.roots), max_targets);
+    rep.module_name = path;
+    std::printf("%s", check::renderSurfaceText(rep).c_str());
+
+    const std::string json_path = args.get("--json");
+    if (!json_path.empty()) {
+        writeFile(json_path, check::renderSurfaceJson(rep));
+        std::printf("wrote %s\n", json_path.c_str());
     }
     return outcome.passed ? 0 : 1;
 }
@@ -1225,8 +1298,8 @@ run(int argc, char** argv)
         std::fprintf(stderr,
                      "usage: pibe "
                      "<kernel|profile|optimize|measure|attack|stats|"
-                     "check|genkernel|scalebench|serve|loadgen|client|"
-                     "selftest> [options]\n");
+                     "check|surface|genkernel|scalebench|serve|loadgen|"
+                     "client|selftest> [options]\n");
         return 2;
     }
     const std::string cmd = argv[1];
@@ -1245,6 +1318,8 @@ run(int argc, char** argv)
         return cmdStats(args);
     if (cmd == "check")
         return cmdCheck(args);
+    if (cmd == "surface")
+        return cmdSurface(args);
     if (cmd == "genkernel")
         return cmdGenkernel(args);
     if (cmd == "scalebench")

@@ -15,12 +15,17 @@
 # build-time and peak-RSS curves) and merges its BENCH_scale.json under
 # the same provenance stamp.
 #
-# Usage: tools/run_all_tables.sh [BUILD_DIR] [OUT_JSON] [INTERP_JSON] [SERVE_JSON] [SCALE_JSON]
+# It also runs `pibe surface` (interprocedural target-set analysis +
+# residual-attack-surface report) over a freshly built paper kernel and
+# merges its BENCH_surface.json under the same provenance stamp.
+#
+# Usage: tools/run_all_tables.sh [BUILD_DIR] [OUT_JSON] [INTERP_JSON] [SERVE_JSON] [SCALE_JSON] [SURFACE_JSON]
 #   BUILD_DIR   cmake build tree holding the bench binaries (default: build)
 #   OUT_JSON    output metrics file (default: BENCH_tables.json)
 #   INTERP_JSON interpreter microbench output (default: BENCH_interpreter.json)
 #   SERVE_JSON  serve loadgen output (default: BENCH_serve.json)
 #   SCALE_JSON  scalebench output (default: BENCH_scale.json)
+#   SURFACE_JSON surface report output (default: BENCH_surface.json)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -28,6 +33,7 @@ OUT_JSON="${2:-BENCH_tables.json}"
 INTERP_JSON="${3:-BENCH_interpreter.json}"
 SERVE_JSON="${4:-BENCH_serve.json}"
 SCALE_JSON="${5:-BENCH_scale.json}"
+SURFACE_JSON="${6:-BENCH_surface.json}"
 JOBS="$(nproc)"
 TABLES=(table5_all_defenses table6_per_defense table3_retpolines
         table7_macrobenchmarks)
@@ -105,6 +111,13 @@ wait "$SERVE_PID"
 echo "== scalebench (generated modules, serial vs parallel) =="
 "$BUILD_DIR/tools/pibe" scalebench --jobs "$JOBS" --out "$SCALE_JSON"
 
+echo "== residual-attack-surface report (pibe surface) =="
+"$BUILD_DIR/tools/pibe" kernel -o "$WORK/surface-kernel.pir" --drivers 64
+"$BUILD_DIR/tools/pibe" profile -m "$WORK/surface-kernel.pir" \
+    -o "$WORK/surface-prof.txt" --iters 10
+"$BUILD_DIR/tools/pibe" surface -m "$WORK/surface-kernel.pir" \
+    -p "$WORK/surface-prof.txt" --json "$SURFACE_JSON" --fail-on warn
+
 # Provenance stamp: every BENCH_*.json records where its numbers came
 # from, so checked-in baselines are auditable. The dispatch mode is
 # read back from the interpreter artifact (the binary knows which
@@ -139,6 +152,7 @@ STAMP_UTC=$(date -u +%Y-%m-%dT%H:%M:%SZ)
         | sed '1s/^  //'),"
     echo "  \"serve\": $(cat "$SERVE_JSON"),"
     echo "  \"scale\": $(cat "$SCALE_JSON"),"
+    echo "  \"surface\": $(cat "$SURFACE_JSON"),"
     echo "  \"tables\": ["
     sep=""
     for t in "${TABLES[@]}"; do
@@ -151,4 +165,5 @@ STAMP_UTC=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 echo "== done =="
 echo "serial:   ${serial_ms} ms"
 echo "parallel: ${parallel_ms} ms (speedup ${speedup}x)"
-echo "metrics:  $OUT_JSON (serve: $SERVE_JSON, scale: $SCALE_JSON)"
+echo "metrics:  $OUT_JSON (serve: $SERVE_JSON, scale: $SCALE_JSON," \
+     "surface: $SURFACE_JSON)"
