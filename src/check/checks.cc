@@ -1,6 +1,7 @@
 #include "check/checks.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <sstream>
 #include <unordered_map>
@@ -8,10 +9,22 @@
 
 #include "ir/printer.h"
 #include "ir/verifier.h"
+#include "runtime/job_graph.h"
+#include "runtime/thread_pool.h"
 
 namespace pibe::check {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
 
 /** Shared emission state of one suite run. */
 class Runner
@@ -26,14 +39,78 @@ class Runner
     CheckReport
     run()
     {
+        auto timed = [this](const char* name, auto&& fn) {
+            const auto t0 = Clock::now();
+            fn();
+            report_.group_ms.emplace_back(name, msSince(t0));
+        };
         if (opts_.verify)
-            runVerify();
+            timed("verify", [this] { runVerify(); });
         if (opts_.lint)
-            runLints();
+            timed("lint", [this] { runLints(); });
         if (opts_.coverage)
-            runCoverage();
+            timed("coverage", [this] { runCoverage(); });
         if (opts_.targets)
-            runTargets();
+            timed("targets", [this] { runTargets(); });
+        if (opts_.profile_flow && opts_.profile)
+            timed("profile", [this] { runProfileFlow(); });
+        return std::move(report_);
+    }
+
+    /**
+     * Per-function portions of the enabled groups for [begin, end):
+     * verify.function, the lints, the per-site coverage audit
+     * (accumulated into `counted`, reconciled by the caller), and the
+     * verify.targets guard-chain scan against the pre-solved `tsa`.
+     * This is the unit runChecksParallel() fans out per shard.
+     */
+    CheckReport
+    runShard(ir::FuncId begin, ir::FuncId end, TargetSetAnalysis* tsa,
+             harden::CoverageReport* counted)
+    {
+        for (ir::FuncId f = begin; f < end; ++f) {
+            const ir::Function& fn = module_.func(f);
+            if (opts_.verify) {
+                auto problems = ir::verifyFunction(module_, fn);
+                broken_[f] = !problems.empty();
+                for (const std::string& p : problems) {
+                    Diagnostic& d =
+                        emit("verify.function", Severity::kError, p);
+                    d.func = f;
+                    d.func_name = fn.name;
+                }
+            }
+            if (opts_.lint && !fn.isDeclaration() && analyzable(f))
+                lintFunction(fn);
+        }
+        if (opts_.coverage && counted)
+            coverageRange(begin, end, *counted);
+        if (opts_.targets && tsa)
+            targetsGuardRange(begin, end, *tsa);
+        return std::move(report_);
+    }
+
+    /**
+     * Module-wide obligations that cannot shard: site-id uniqueness,
+     * coverage reconciliation against the summed shard counts,
+     * target-set seed/site checks, and profile flow. Runs serially
+     * after the shard fan-out.
+     */
+    CheckReport
+    runModuleTail(TargetSetAnalysis* tsa,
+                  const harden::CoverageReport* counted)
+    {
+        if (opts_.verify) {
+            for (const std::string& p :
+                 ir::verifyModuleSiteIds(module_))
+                emit("verify.sites", Severity::kError, p);
+        }
+        if (opts_.coverage && counted)
+            reconcile(*counted);
+        if (opts_.targets && tsa) {
+            targetsBadSlots(*tsa);
+            targetsModuleSites(*tsa);
+        }
         if (opts_.profile_flow && opts_.profile)
             runProfileFlow();
         return std::move(report_);
@@ -151,6 +228,15 @@ class Runner
         const Liveness& live = am_.liveness(f.id);
         const FrameLiveness& frame_live = am_.frameLiveness(f.id);
 
+        // Streaming sweep: live-out facts land in two reusable flat
+        // matrices and the forward analyses advance via cursors, so
+        // the per-instruction queries are amortized O(1) instead of
+        // replaying the block per instruction.
+        ReachingDefs::Cursor reach_cur(reaching);
+        DefiniteAssignment::Cursor assign_cur(assigned);
+        FactMatrix reg_out;
+        FactMatrix frame_out;
+
         for (ir::BlockId b = 0; b < f.blocks.size(); ++b) {
             if (!cfg.isReachable(b)) {
                 emitAt("lint.unreachable-block", Severity::kWarning,
@@ -159,33 +245,37 @@ class Runner
                     .hint = "run opt::simplifyCfg to delete it";
                 continue;
             }
-            const std::vector<BitVector> reg_out =
-                live.perInstLiveOut(b);
-            const std::vector<BitVector> frame_out =
-                frame_live.perInstLiveOut(b);
+            live.perInstLiveOut(b, reg_out);
+            frame_live.perInstLiveOut(b, frame_out);
+            reach_cur.startBlock(b);
+            assign_cur.startBlock(b);
             const auto& insts = f.blocks[b].insts;
             for (uint32_t i = 0; i < insts.size(); ++i) {
                 const ir::Instruction& inst = insts[i];
-                lintUses(f, b, i, inst, reaching, assigned);
-                lintDeadStore(f, b, i, inst, reg_out[i], frame_out[i]);
+                lintUses(f, b, i, inst, reach_cur,
+                         assign_cur.assigned());
+                lintDeadStore(f, b, i, inst, reg_out, frame_out);
                 if (inst.op == ir::Opcode::kICall)
-                    lintICallTargets(f, b, i, inst, reaching);
+                    lintICallTargets(f, b, i, inst, reaching,
+                                     reach_cur);
+                reach_cur.advance(inst);
+                assign_cur.advance(inst);
             }
         }
     }
 
     void
     lintUses(const ir::Function& f, ir::BlockId b, uint32_t i,
-             const ir::Instruction& inst, const ReachingDefs& reaching,
-             const DefiniteAssignment& assigned)
+             const ir::Instruction& inst,
+             const ReachingDefs::Cursor& reach, const BitVector& have)
     {
         uses_.clear();
         appendUses(inst, uses_);
-        BitVector have = assigned.assignedBefore(b, i);
         for (ir::Reg r : uses_) {
             if (r >= f.num_regs)
                 continue; // verifier territory
-            if (reaching.defsOfRegAt(b, i, r).empty()) {
+            reach.defsOf(r, def_ids_);
+            if (def_ids_.empty()) {
                 emitAt("lint.use-before-def", Severity::kError, f.id, b,
                        static_cast<int32_t>(i),
                        "register r" + std::to_string(r) +
@@ -203,8 +293,8 @@ class Runner
 
     void
     lintDeadStore(const ir::Function& f, ir::BlockId b, uint32_t i,
-                  const ir::Instruction& inst, const BitVector& reg_out,
-                  const BitVector& frame_out)
+                  const ir::Instruction& inst,
+                  const FactMatrix& reg_out, const FactMatrix& frame_out)
     {
         switch (inst.op) {
           case ir::Opcode::kConst:
@@ -214,7 +304,7 @@ class Runner
           case ir::Opcode::kLoad:
           case ir::Opcode::kFrameLoad: {
             const ir::Reg d = inst.dst;
-            if (d < f.num_regs && !reg_out.test(d)) {
+            if (d < f.num_regs && !reg_out.test(i, d)) {
                 emitAt("lint.dead-store", Severity::kWarning, f.id, b,
                        static_cast<int32_t>(i),
                        "register r" + std::to_string(d) +
@@ -225,7 +315,7 @@ class Runner
           }
           case ir::Opcode::kFrameStore: {
             const auto slot = static_cast<size_t>(inst.imm);
-            if (slot < f.frame_size && !frame_out.test(slot)) {
+            if (slot < f.frame_size && !frame_out.test(i, slot)) {
                 emitAt("lint.dead-store", Severity::kWarning, f.id, b,
                        static_cast<int32_t>(i),
                        "frame slot " + std::to_string(inst.imm) +
@@ -241,12 +331,14 @@ class Runner
     void
     lintICallTargets(const ir::Function& f, ir::BlockId b, uint32_t i,
                      const ir::Instruction& inst,
-                     const ReachingDefs& reaching)
+                     const ReachingDefs& reaching,
+                     const ReachingDefs::Cursor& reach)
     {
         // Resolve the target register through its reaching defs; only
         // judge arity when *every* def is a constant function address.
         std::vector<ir::FuncId> targets;
-        for (size_t id : reaching.defsOfRegAt(b, i, inst.a)) {
+        reach.defsOf(inst.a, def_ids_);
+        for (size_t id : def_ids_) {
             const ReachingDefs::Def& def = reaching.defs()[id];
             if (def.is_param)
                 return;
@@ -290,14 +382,24 @@ class Runner
     void
     runCoverage()
     {
+        harden::CoverageReport counted; // our recount, all sites
+        coverageRange(0, static_cast<ir::FuncId>(module_.numFunctions()),
+                      counted);
+        reconcile(counted);
+    }
+
+    void
+    coverageRange(ir::FuncId begin, ir::FuncId end,
+                  harden::CoverageReport& counted)
+    {
         const ir::FwdScheme required_fwd =
             harden::forwardSchemeFor(opts_.defense);
         const ir::RetScheme required_ret =
             harden::returnSchemeFor(opts_.defense);
         const bool active = opts_.defense.any();
 
-        harden::CoverageReport counted; // our recount, all sites
-        for (const ir::Function& f : module_.functions()) {
+        for (ir::FuncId func = begin; func < end; ++func) {
+            const ir::Function& f = module_.func(func);
             if (f.isDeclaration())
                 continue;
             const bool boot = f.hasAttr(ir::kAttrBootSection);
@@ -315,7 +417,6 @@ class Runner
                 }
             }
         }
-        reconcile(counted);
     }
 
     void
@@ -489,7 +590,16 @@ class Runner
     runTargets()
     {
         TargetSetAnalysis& tsa = am_.targetSets(opts_.roots);
+        targetsBadSlots(tsa);
+        targetsGuardRange(0,
+                          static_cast<ir::FuncId>(module_.numFunctions()),
+                          tsa);
+        targetsModuleSites(tsa);
+    }
 
+    void
+    targetsBadSlots(TargetSetAnalysis& tsa)
+    {
         for (const BadGlobalSlot& bad : tsa.badGlobalSlots()) {
             Diagnostic& d = emit(
                 "verify.targets", Severity::kError,
@@ -501,8 +611,14 @@ class Runner
             d.hint = "a table initializer encodes a FuncId outside "
                      "the module; indirect calls through it trap";
         }
+    }
 
-        for (const ir::Function& f : module_.functions()) {
+    void
+    targetsGuardRange(ir::FuncId begin, ir::FuncId end,
+                      TargetSetAnalysis& tsa)
+    {
+        for (ir::FuncId func = begin; func < end; ++func) {
+            const ir::Function& f = module_.func(func);
             for (ir::BlockId b = 0; b < f.blocks.size(); ++b) {
                 const auto& insts = f.blocks[b].insts;
                 if (insts.size() < 3)
@@ -549,7 +665,11 @@ class Runner
                 }
             }
         }
+    }
 
+    void
+    targetsModuleSites(TargetSetAnalysis& tsa)
+    {
         for (const auto& [sid, st] : tsa.sites()) {
             if (st.complete() && st.targets.empty()) {
                 Diagnostic& d = emitAt(
@@ -789,6 +909,7 @@ class Runner
     CheckReport report_;
     std::unordered_map<ir::FuncId, bool> broken_;
     std::vector<ir::Reg> uses_;
+    std::vector<size_t> def_ids_;
 };
 
 } // namespace
@@ -804,6 +925,80 @@ runChecks(const ir::Module& module, const CheckOptions& opts,
     }
     AnalysisManager local(module);
     return Runner(module, opts, local).run();
+}
+
+CheckReport
+runChecksParallel(const ir::Module& module, const CheckOptions& opts,
+                  runtime::ThreadPool& pool, size_t shard_size,
+                  AnalysisManager* am)
+{
+    AnalysisManager local(module);
+    AnalysisManager& shared = am ? *am : local;
+    if (am)
+        PIBE_ASSERT(&am->module() == &module,
+                    "AnalysisManager wraps a different module");
+
+    CheckReport out;
+
+    // Solve the module-wide target-set fixpoint once, serially; the
+    // shard jobs only read it (see TargetSetAnalysis::ensureSolved).
+    TargetSetAnalysis* tsa = nullptr;
+    if (opts.targets) {
+        const auto t0 = Clock::now();
+        tsa = &shared.targetSets(opts.roots);
+        tsa->ensureSolved();
+        out.group_ms.emplace_back("targets.solve", msSince(t0));
+    }
+
+    const auto n = static_cast<ir::FuncId>(module.numFunctions());
+    const auto step =
+        static_cast<ir::FuncId>(std::max<size_t>(1, shard_size));
+    const size_t num_shards = n == 0 ? 0 : (n + step - 1) / step;
+    std::vector<CheckReport> reports(num_shards);
+    std::vector<harden::CoverageReport> counts(num_shards);
+
+    const auto t1 = Clock::now();
+    runtime::JobGraph graph;
+    for (size_t s = 0; s < num_shards; ++s) {
+        const auto begin = static_cast<ir::FuncId>(s * step);
+        const ir::FuncId end = std::min<ir::FuncId>(begin + step, n);
+        graph.add("check/" + std::to_string(s),
+                  [&module, &opts, &reports, &counts, tsa, begin, end,
+                   s](const runtime::JobContext&) {
+                      AnalysisManager shard_am(module);
+                      Runner r(module, opts, shard_am);
+                      reports[s] =
+                          r.runShard(begin, end, tsa, &counts[s]);
+                  });
+    }
+    graph.run(pool);
+    out.group_ms.emplace_back("shards.parallel", msSince(t1));
+
+    // FuncId-ordered merge: shard s covers a lower function range than
+    // shard s+1, so concatenation is deterministic and scheduling
+    // never leaks into the report.
+    const auto t2 = Clock::now();
+    for (size_t s = 0; s < num_shards; ++s) {
+        out.diags.insert(out.diags.end(),
+                         std::make_move_iterator(reports[s].diags.begin()),
+                         std::make_move_iterator(reports[s].diags.end()));
+    }
+    harden::CoverageReport total;
+    for (const harden::CoverageReport& c : counts) {
+        total.protected_icalls += c.protected_icalls;
+        total.vulnerable_icalls += c.vulnerable_icalls;
+        total.vulnerable_ijumps += c.vulnerable_ijumps;
+        total.protected_rets += c.protected_rets;
+        total.boot_only_rets += c.boot_only_rets;
+    }
+    Runner tail(module, opts, shared);
+    CheckReport tail_rep =
+        tail.runModuleTail(tsa, opts.coverage ? &total : nullptr);
+    out.diags.insert(out.diags.end(),
+                     std::make_move_iterator(tail_rep.diags.begin()),
+                     std::make_move_iterator(tail_rep.diags.end()));
+    out.group_ms.emplace_back("module.serial", msSince(t2));
+    return out;
 }
 
 CheckReport

@@ -47,6 +47,10 @@
 #include "harden/harden.h"
 #include "profile/edge_profile.h"
 
+namespace pibe::runtime {
+class ThreadPool;
+}
+
 namespace pibe::check {
 
 /** Which groups run, and their inputs. */
@@ -89,6 +93,13 @@ struct CheckReport
 {
     std::vector<Diagnostic> diags;
 
+    /**
+     * Wall time per checker phase, in run order (`pibe check
+     * --timing`). Serial runs record one entry per group; parallel
+     * runs record the solve / fan-out / serial-tail phases.
+     */
+    std::vector<std::pair<std::string, double>> group_ms;
+
     size_t errors() const { return countSeverity(diags, Severity::kError); }
     size_t warnings() const
     {
@@ -114,6 +125,25 @@ struct CheckReport
  */
 CheckReport runChecks(const ir::Module& module, const CheckOptions& opts,
                       AnalysisManager* am = nullptr);
+
+/**
+ * Parallel variant of runChecks(): the per-function checker groups
+ * (verify.function, the lint.* sweep, the per-site coverage audit,
+ * and the verify.targets ICP guard-chain scan) fan out as JobGraph
+ * shard jobs over `pool`, each with a private AnalysisManager, while
+ * the module-wide obligations (site-id uniqueness, coverage
+ * reconciliation, target-set seeding/site checks, profile flow) run
+ * serially afterwards. The target-set fixpoint is solved once, before
+ * the fan-out, and only read by the shards. Shard reports merge in
+ * FuncId order, so the result is the same diagnostic multiset as
+ * runChecks() — after sortDiagnostics() the two are byte-identical at
+ * every pool size.
+ */
+CheckReport runChecksParallel(const ir::Module& module,
+                              const CheckOptions& opts,
+                              runtime::ThreadPool& pool,
+                              size_t shard_size = 64,
+                              AnalysisManager* am = nullptr);
 
 /**
  * Run the per-function checker groups (verify + lint) for a single

@@ -1,5 +1,6 @@
 #include "check/dataflow.h"
 
+#include <algorithm>
 #include <deque>
 
 namespace pibe::check {
@@ -192,6 +193,27 @@ Liveness::perInstLiveOut(ir::BlockId b) const
     return out;
 }
 
+void
+Liveness::perInstLiveOut(ir::BlockId b, FactMatrix& out) const
+{
+    const auto& insts = func_.blocks[b].insts;
+    out.reset(insts.size(), func_.num_regs);
+    BitVector live = liveOut(b);
+    std::vector<ir::Reg> uses;
+    for (size_t i = insts.size(); i-- > 0;) {
+        std::copy(live.words(), live.words() + live.numWords(),
+                  out.row(i));
+        const ir::Reg d = instrDef(insts[i]);
+        if (d != ir::kNoReg && d < live.size())
+            live.clear(d);
+        uses.clear();
+        appendUses(insts[i], uses);
+        for (ir::Reg r : uses)
+            if (r < live.size())
+                live.set(r);
+    }
+}
+
 // --- FrameLiveness --------------------------------------------------
 
 FrameLiveness::FrameLiveness(const ir::Function& func, const Cfg& cfg)
@@ -241,6 +263,27 @@ FrameLiveness::perInstLiveOut(ir::BlockId b) const
     return out;
 }
 
+void
+FrameLiveness::perInstLiveOut(ir::BlockId b, FactMatrix& out) const
+{
+    const auto& insts = func_.blocks[b].insts;
+    out.reset(insts.size(), func_.frame_size);
+    BitVector live = liveOut(b);
+    for (size_t i = insts.size(); i-- > 0;) {
+        std::copy(live.words(), live.words() + live.numWords(),
+                  out.row(i));
+        if (insts[i].op == ir::Opcode::kFrameStore) {
+            const auto slot = static_cast<size_t>(insts[i].imm);
+            if (slot < live.size())
+                live.clear(slot);
+        } else if (insts[i].op == ir::Opcode::kFrameLoad) {
+            const auto slot = static_cast<size_t>(insts[i].imm);
+            if (slot < live.size())
+                live.set(slot);
+        }
+    }
+}
+
 // --- ReachingDefs ---------------------------------------------------
 
 ReachingDefs::ReachingDefs(const ir::Function& func, const Cfg& cfg)
@@ -252,7 +295,9 @@ ReachingDefs::ReachingDefs(const ir::Function& func, const Cfg& cfg)
         defs_by_reg_[p].push_back(defs_.size());
         defs_.push_back(Def{p, true, 0, p});
     }
+    first_def_in_block_.resize(func.blocks.size(), 0);
     for (ir::BlockId b = 0; b < func.blocks.size(); ++b) {
+        first_def_in_block_[b] = defs_.size();
         const auto& insts = func.blocks[b].insts;
         for (uint32_t i = 0; i < insts.size(); ++i) {
             const ir::Reg d = instrDef(insts[i]);
@@ -331,6 +376,43 @@ ReachingDefs::defsOfRegAt(ir::BlockId b, uint32_t index,
                 out.push_back(id);
     }
     return out;
+}
+
+void
+ReachingDefs::Cursor::startBlock(ir::BlockId b)
+{
+    for (ir::Reg r : touched_)
+        local_def_[r] = SIZE_MAX;
+    touched_.clear();
+    block_ = b;
+    next_id_ = rd_.first_def_in_block_[b];
+}
+
+void
+ReachingDefs::Cursor::advance(const ir::Instruction& inst)
+{
+    const ir::Reg d = instrDef(inst);
+    if (d != ir::kNoReg && d < local_def_.size()) {
+        if (local_def_[d] == SIZE_MAX)
+            touched_.push_back(d);
+        local_def_[d] = next_id_++;
+    }
+}
+
+void
+ReachingDefs::Cursor::defsOf(ir::Reg reg, std::vector<size_t>& out) const
+{
+    out.clear();
+    if (reg >= local_def_.size())
+        return;
+    if (local_def_[reg] != SIZE_MAX) {
+        out.push_back(local_def_[reg]);
+        return;
+    }
+    const BitVector& in = rd_.result_.in[block_];
+    for (size_t id : rd_.defs_by_reg_[reg])
+        if (in.test(id))
+            out.push_back(id);
 }
 
 // --- DefiniteAssignment ---------------------------------------------

@@ -13,6 +13,17 @@
  * All block-level results are computed eagerly at construction (PIR
  * functions are small); instruction-granularity views are derived by
  * replaying one block from its boundary fact.
+ *
+ * Two instruction-granularity APIs coexist:
+ *
+ *  - the original per-query forms (assignedBefore, defsOfRegAt,
+ *    perInstLiveOut returning a fresh vector) replay the block on
+ *    every call — O(block²) when queried per instruction. They are
+ *    kept as the oracle for differential tests;
+ *  - streaming cursors (DefiniteAssignment::Cursor,
+ *    ReachingDefs::Cursor) and the reusable FactMatrix overloads of
+ *    perInstLiveOut advance through a block once, amortizing each
+ *    query to O(1)/O(words). The checkers use these.
  */
 #ifndef PIBE_CHECK_DATAFLOW_H_
 #define PIBE_CHECK_DATAFLOW_H_
@@ -103,6 +114,10 @@ class BitVector
         return n;
     }
 
+    /** Raw word storage (bit i lives in word i/64); for bulk copies. */
+    const uint64_t* words() const { return words_.data(); }
+    size_t numWords() const { return words_.size(); }
+
   private:
     static size_t wordCount(size_t bits) { return (bits + 63) / 64; }
     static uint64_t mask(size_t i) { return uint64_t{1} << (i & 63); }
@@ -122,6 +137,37 @@ class BitVector
     }
 
     size_t bits_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+/**
+ * Dense per-instruction fact matrix: row i is one bit set sized to the
+ * analysis universe. One flat allocation, reused across blocks via
+ * reset(), so instruction-granularity sweeps do not allocate (or copy
+ * a BitVector) per instruction.
+ */
+class FactMatrix
+{
+  public:
+    void
+    reset(size_t rows, size_t bits)
+    {
+        stride_ = (bits + 63) / 64;
+        words_.assign(rows * stride_, 0);
+    }
+
+    bool
+    test(size_t row, size_t bit) const
+    {
+        return (words_[row * stride_ + (bit >> 6)] &
+                (uint64_t{1} << (bit & 63))) != 0;
+    }
+
+    uint64_t* row(size_t r) { return words_.data() + r * stride_; }
+    size_t stride() const { return stride_; }
+
+  private:
+    size_t stride_ = 0;
     std::vector<uint64_t> words_;
 };
 
@@ -185,6 +231,9 @@ class Liveness
      */
     std::vector<BitVector> perInstLiveOut(ir::BlockId b) const;
 
+    /** Allocation-free form: fills `out` (row i = after inst i). */
+    void perInstLiveOut(ir::BlockId b, FactMatrix& out) const;
+
     size_t iterations() const { return result_.iterations; }
 
   private:
@@ -202,6 +251,9 @@ class FrameLiveness
 
     /** Live-out fact after each instruction of `b`. */
     std::vector<BitVector> perInstLiveOut(ir::BlockId b) const;
+
+    /** Allocation-free form: fills `out` (row i = after inst i). */
+    void perInstLiveOut(ir::BlockId b, FactMatrix& out) const;
 
   private:
     const ir::Function& func_;
@@ -238,11 +290,43 @@ class ReachingDefs
     std::vector<size_t> defsOfRegAt(ir::BlockId b, uint32_t index,
                                     ir::Reg reg) const;
 
+    /**
+     * Forward streaming view of defsOfRegAt. startBlock() positions
+     * the cursor before the first instruction; query, then advance()
+     * past each instruction. Def ids are assigned in block/index
+     * order, so the id of the instruction under the cursor is a
+     * running counter — no per-query replay.
+     */
+    class Cursor
+    {
+      public:
+        explicit Cursor(const ReachingDefs& rd)
+            : rd_(rd), local_def_(rd.func_.num_regs, SIZE_MAX)
+        {
+        }
+
+        void startBlock(ir::BlockId b);
+        void advance(const ir::Instruction& inst);
+        /** Defs of `reg` reaching the current position, into `out`. */
+        void defsOf(ir::Reg reg, std::vector<size_t>& out) const;
+
+      private:
+        const ReachingDefs& rd_;
+        ir::BlockId block_ = 0;
+        /** Def id the next defining instruction will occupy. */
+        size_t next_id_ = 0;
+        /** Latest in-block def id per register; SIZE_MAX = none yet. */
+        std::vector<size_t> local_def_;
+        std::vector<ir::Reg> touched_;
+    };
+
   private:
     const ir::Function& func_;
     std::vector<Def> defs_;
     /** Def ids grouped by register (kill-set construction). */
     std::vector<std::vector<size_t>> defs_by_reg_;
+    /** First def id allocated inside each block (cursor seeding). */
+    std::vector<size_t> first_def_in_block_;
     DataflowResult result_;
 };
 
@@ -257,6 +341,33 @@ class DefiniteAssignment
      * instruction `index` of block `b` (parameters included).
      */
     BitVector assignedBefore(ir::BlockId b, uint32_t index) const;
+
+    /**
+     * Forward streaming view of assignedBefore: one BitVector carried
+     * through the block instead of a copy + replay per query.
+     */
+    class Cursor
+    {
+      public:
+        explicit Cursor(const DefiniteAssignment& da) : da_(da) {}
+
+        void startBlock(ir::BlockId b) { assigned_ = da_.result_.in[b]; }
+
+        void
+        advance(const ir::Instruction& inst)
+        {
+            const ir::Reg d = instrDef(inst);
+            if (d != ir::kNoReg && d < assigned_.size())
+                assigned_.set(d);
+        }
+
+        /** Fact before the instruction the cursor stands on. */
+        const BitVector& assigned() const { return assigned_; }
+
+      private:
+        const DefiniteAssignment& da_;
+        BitVector assigned_;
+    };
 
   private:
     const ir::Function& func_;

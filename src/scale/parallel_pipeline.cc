@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "analysis/call_graph.h"
 #include "analysis/inline_cost.h"
@@ -31,15 +34,134 @@ msSince(Clock::time_point start)
         .count();
 }
 
+double
+processCpuMs()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    auto tv_ms = [](const timeval& tv) {
+        return static_cast<double>(tv.tv_sec) * 1e3 +
+               static_cast<double>(tv.tv_usec) / 1e3;
+    };
+    return tv_ms(ru.ru_utime) + tv_ms(ru.ru_stime);
+}
+
+uint64_t
+instructionCount(const ir::Module& module)
+{
+    uint64_t n = 0;
+    for (const ir::Function& f : module.functions())
+        for (const ir::BasicBlock& bb : f.blocks)
+            n += bb.insts.size();
+    return n;
+}
+
+/**
+ * A stage's fan-out point: a JobGraph when a pool is available, or —
+ * under the small-module bypass — inline execution at add() time.
+ * Inline execution runs job bodies in add order, which is exactly the
+ * serial schedule the graph's determinism rules guarantee equivalence
+ * to, so the produced module is identical either way. Dependencies
+ * are honored trivially inline: a dep must be add()ed first, so it
+ * has already run.
+ */
+class StageExec
+{
+  public:
+    explicit StageExec(runtime::ThreadPool* pool) : pool_(pool) {}
+
+    runtime::JobId
+    add(std::string name, std::function<void(const runtime::JobContext&)> fn,
+        const std::vector<runtime::JobId>& deps = {})
+    {
+        if (!pool_) {
+            runtime::JobContext ctx;
+            ctx.id = next_inline_id_++;
+            fn(ctx);
+            return ctx.id;
+        }
+        return graph_.add(std::move(name), std::move(fn), deps);
+    }
+
+    /** No-op under the bypass (everything already ran in add()). */
+    void
+    run()
+    {
+        if (pool_)
+            graph_.run(*pool_);
+    }
+
+  private:
+    runtime::ThreadPool* pool_;
+    runtime::JobGraph graph_;
+    runtime::JobId next_inline_id_ = 0;
+};
+
+// --- participant / quiet partition ----------------------------------
+
+/**
+ * Mark every function ICP or the inliner could read or write, from
+ * the pre-rewrite module and profile:
+ *
+ *  - callers and callees of profiled direct call sites (inline
+ *    candidates, including inherited ones: an inherited candidate's
+ *    callee is the callee of a profiled site inside the original
+ *    callee body, so it is marked by the same rule);
+ *  - callers of profiled indirect sites and every profiled target
+ *    (ICP rewrites the caller; promotion — and the inliner, after
+ *    finalizeIcp drains counts onto the promoted direct sites —
+ *    reads the targets).
+ *
+ * Unprofiled feasible targets appended by total promotion are only
+ * ever named by a kCall operand, never read or written, so they stay
+ * quiet. Everything unmarked is untouched by both passes and can be
+ * hardened/audited while ICP rewrites run.
+ */
+std::vector<char>
+markParticipants(const ir::Module& module,
+                 const profile::EdgeProfile& working)
+{
+    std::vector<char> part(module.numFunctions(), 0);
+    auto mark = [&part](ir::FuncId f) {
+        if (f < part.size())
+            part[f] = 1;
+    };
+    for (const ir::Function& f : module.functions()) {
+        for (const auto& bb : f.blocks) {
+            for (const auto& inst : bb.insts) {
+                if (inst.op == ir::Opcode::kCall) {
+                    if (working.directCount(inst.site_id) == 0)
+                        continue;
+                    mark(f.id);
+                    mark(inst.callee);
+                } else if (inst.op == ir::Opcode::kICall) {
+                    const auto& targets =
+                        working.indirectTargets(inst.site_id);
+                    if (targets.empty())
+                        continue;
+                    mark(f.id);
+                    for (const auto& tc : targets)
+                        mark(tc.target);
+                }
+            }
+        }
+    }
+    return part;
+}
+
 // --- ICP stage ------------------------------------------------------
 
-void
-runIcpStage(ir::Module& image, profile::EdgeProfile& working,
-            const ParallelPipelineConfig& config,
-            runtime::ThreadPool& pool, ParallelPipelineReport& rep)
+/**
+ * Serial ICP planning: feasibility (when total promotion needs it),
+ * site selection, and the SiteId reservation that lets the rewrites
+ * run without an allocator. The caller fans the per-function
+ * applications out and then runs opt::finalizeIcp.
+ */
+opt::IcpPlan
+planIcpStage(ir::Module& image, const profile::EdgeProfile& working,
+             const ParallelPipelineConfig& config)
 {
-    // Total promotion needs the feasible-target sets; compute them
-    // here (serially, pre-ICP) when the caller did not supply a map.
     opt::IcpConfig icfg = config.icp;
     opt::FeasibilityMap feas;
     if (icfg.total_promotion && !icfg.feasibility) {
@@ -52,19 +174,81 @@ runIcpStage(ir::Module& image, profile::EdgeProfile& working,
     // All fresh ids were pre-assigned at plan time; reserve them
     // before any rewrite so concurrent applications never allocate.
     image.reserveSiteIds(plan.site_id_bound);
+    return plan;
+}
 
-    runtime::JobGraph graph;
-    for (const auto& [func, indices] : plan.by_func) {
-        (void)indices;
-        const ir::FuncId f = func;
-        graph.add("icp/" + image.func(f).name,
-                  [&image, &plan, f](const runtime::JobContext&) {
-                      opt::applyIcpFunction(image, f, plan);
-                  });
+// --- harden + audit shards ------------------------------------------
+
+/** Results of one harden+check shard job. */
+struct ShardResult
+{
+    check::CheckReport report;
+    size_t computed = 0;
+    size_t hits = 0;
+};
+
+/** FuncId-ordered chunks of `funcs`, `shard_size` functions each. */
+std::vector<std::vector<ir::FuncId>>
+chunkFuncs(const std::vector<ir::FuncId>& funcs, size_t shard_size)
+{
+    const size_t step = std::max<size_t>(1, shard_size);
+    std::vector<std::vector<ir::FuncId>> chunks;
+    for (size_t b = 0; b < funcs.size(); b += step)
+        chunks.emplace_back(funcs.begin() + b,
+                            funcs.begin() +
+                                std::min(b + step, funcs.size()));
+    return chunks;
+}
+
+/**
+ * Add one harden job per chunk of `funcs` to `exec`, plus (when
+ * checks are on) a dependent audit job running runFunctionChecks with
+ * a chunk-private AnalysisManager. `results` must outlive exec.run()
+ * and have one slot per chunk starting at `result_base`.
+ */
+void
+addHardenCheckJobs(StageExec& exec, ir::Module& image,
+                   const ParallelPipelineConfig& config,
+                   const check::CheckOptions& copts,
+                   const std::vector<std::vector<ir::FuncId>>& chunks,
+                   std::vector<ShardResult>& results, size_t result_base,
+                   const std::shared_ptr<std::once_flag>& check_once,
+                   const std::shared_ptr<Clock::time_point>& check_start)
+{
+    for (size_t s = 0; s < chunks.size(); ++s) {
+        const std::vector<ir::FuncId>& chunk = chunks[s];
+        const runtime::JobId hj = exec.add(
+            "harden/" + std::to_string(result_base + s),
+            [&image, &config, &chunk](const runtime::JobContext&) {
+                for (ir::FuncId f : chunk)
+                    harden::applyDefensesToFunction(image, f,
+                                                    config.defenses);
+            });
+        if (!config.run_checks)
+            continue;
+        ShardResult& slot = results[result_base + s];
+        exec.add(
+            "check/" + std::to_string(result_base + s),
+            [&image, &copts, &chunk, &slot, check_once,
+             check_start](const runtime::JobContext&) {
+                // First audit job to start stamps the stage clock
+                // (stages overlap; this is the observable boundary).
+                std::call_once(*check_once, [&check_start] {
+                    *check_start = Clock::now();
+                });
+                check::AnalysisManager am(image);
+                for (ir::FuncId f : chunk) {
+                    check::CheckReport r = check::runFunctionChecks(
+                        image, f, copts, &am);
+                    slot.report.diags.insert(slot.report.diags.end(),
+                                             r.diags.begin(),
+                                             r.diags.end());
+                }
+                slot.computed = am.computations();
+                slot.hits = am.hits();
+            },
+            {hj});
     }
-    graph.run(pool);
-
-    rep.icp = opt::finalizeIcp(plan, working);
 }
 
 // --- inline stage ---------------------------------------------------
@@ -120,7 +304,7 @@ callSiteCount(const ir::Function& f)
 void
 runInlineStage(ir::Module& image, profile::EdgeProfile& working,
                const ParallelPipelineConfig& config,
-               runtime::ThreadPool& pool, ParallelPipelineReport& rep)
+               runtime::ThreadPool* pool, ParallelPipelineReport& rep)
 {
     const opt::PibeInlinerConfig& cfg = config.inline_cfg;
     opt::InlineAudit& audit = rep.inlining;
@@ -261,10 +445,10 @@ runInlineStage(ir::Module& image, profile::EdgeProfile& working,
         // runs in-job (it is caller-local); unused pre-assigned ids of
         // failed applications stay unused, deterministically.
         std::vector<opt::InlineOutcome> outcomes(selected.size());
-        runtime::JobGraph graph;
+        StageExec exec(pool);
         for (size_t i = 0; i < selected.size(); ++i) {
             const Candidate& c = selected[i];
-            graph.add(
+            exec.add(
                 "inline/" + image.func(c.caller).name + "/" +
                     std::to_string(c.site),
                 [&image, &outcomes, &selected, &id_base, &cfg,
@@ -276,7 +460,7 @@ runInlineStage(ir::Module& image, profile::EdgeProfile& working,
                         opt::cleanupFunction(image.func(sc.caller));
                 });
         }
-        graph.run(pool);
+        exec.run();
 
         // Serial merge in selection order: audit accounting, the
         // constant-ratio heuristic, and inherited re-queueing.
@@ -340,135 +524,6 @@ runInlineStage(ir::Module& image, profile::EdgeProfile& working,
         audit.touched.end());
 }
 
-// --- harden + audit stage -------------------------------------------
-
-/** [begin, end) function range of one shard job. */
-struct Shard
-{
-    ir::FuncId begin = 0;
-    ir::FuncId end = 0;
-};
-
-std::vector<Shard>
-makeShards(const ir::Module& module, size_t shard_size)
-{
-    std::vector<Shard> shards;
-    const ir::FuncId n = module.numFunctions();
-    const ir::FuncId step =
-        static_cast<ir::FuncId>(std::max<size_t>(1, shard_size));
-    for (ir::FuncId b = 0; b < n; b += step)
-        shards.push_back({b, std::min<ir::FuncId>(b + step, n)});
-    return shards;
-}
-
-void
-runHardenAndCheckStage(ir::Module& image,
-                       const ParallelPipelineConfig& config,
-                       runtime::ThreadPool& pool,
-                       ParallelPipelineReport& rep,
-                       Clock::time_point harden_start)
-{
-    const std::vector<Shard> shards =
-        makeShards(image, config.shard_size);
-    const uint32_t switches_before = opt::countSwitches(image);
-
-    check::CheckOptions copts;
-    copts.coverage = false; // module-wide groups run serially below
-    copts.profile_flow = false;
-
-    // One report per shard, merged in shard (= FuncId) order.
-    std::vector<check::CheckReport> shard_reports(shards.size());
-    std::vector<size_t> shard_computed(shards.size(), 0);
-    std::vector<size_t> shard_hits(shards.size(), 0);
-
-    // Each shard's audit depends only on its own hardening job, so
-    // auditing one shard overlaps hardening the next.
-    runtime::JobGraph graph;
-    auto check_once = std::make_shared<std::once_flag>();
-    auto check_start = std::make_shared<Clock::time_point>();
-    for (size_t s = 0; s < shards.size(); ++s) {
-        const Shard shard = shards[s];
-        const runtime::JobId hj = graph.add(
-            "harden/" + std::to_string(s),
-            [&image, &config, shard](const runtime::JobContext&) {
-                for (ir::FuncId f = shard.begin; f < shard.end; ++f)
-                    harden::applyDefensesToFunction(image, f,
-                                                    config.defenses);
-            });
-        if (!config.run_checks)
-            continue;
-        graph.add(
-            "check/" + std::to_string(s),
-            [&image, &copts, &shard_reports, &shard_computed,
-             &shard_hits, check_once, check_start, shard,
-             s](const runtime::JobContext&) {
-                // First audit job to start stamps the stage clock
-                // (stages overlap; this is the observable boundary).
-                std::call_once(*check_once, [&check_start] {
-                    *check_start = Clock::now();
-                });
-                check::AnalysisManager am(image);
-                check::CheckReport& out = shard_reports[s];
-                for (ir::FuncId f = shard.begin; f < shard.end; ++f) {
-                    check::CheckReport r = check::runFunctionChecks(
-                        image, f, copts, &am);
-                    out.diags.insert(out.diags.end(),
-                                     r.diags.begin(), r.diags.end());
-                }
-                shard_computed[s] = am.computations();
-                shard_hits[s] = am.hits();
-            },
-            {hj});
-    }
-    graph.run(pool);
-    rep.timing.harden_ms = msSince(harden_start);
-
-    rep.coverage = harden::analyzeCoverage(image);
-    rep.coverage.lowered_switches =
-        switches_before - opt::countSwitches(image);
-    // ICP residue accounting, recovered from the promotion audit
-    // (mirrors core::buildImage).
-    rep.coverage.capped_residual_icalls = rep.icp.capped_sites;
-    rep.coverage.elided_icalls = rep.icp.fallbacks_dropped;
-
-    if (!config.run_checks)
-        return;
-    std::call_once(*check_once,
-                   [&check_start] { *check_start = Clock::now(); });
-
-    for (size_t s = 0; s < shards.size(); ++s) {
-        rep.checks.diags.insert(rep.checks.diags.end(),
-                                shard_reports[s].diags.begin(),
-                                shard_reports[s].diags.end());
-        rep.analyses_computed += shard_computed[s];
-        rep.analyses_reused += shard_hits[s];
-    }
-
-    // Module-wide obligations, serial: cross-function site-id
-    // uniqueness and hardening-coverage reconciliation.
-    for (const std::string& p : ir::verifyModuleSiteIds(image)) {
-        check::Diagnostic d;
-        d.check_id = "verify.sites";
-        d.severity = check::Severity::kError;
-        d.message = p;
-        rep.checks.diags.push_back(std::move(d));
-    }
-    check::CheckOptions mopts;
-    mopts.verify = false;
-    mopts.lint = false;
-    mopts.coverage = true;
-    mopts.targets = true; // Feasible-target validation (module-wide).
-    mopts.defense = config.defenses;
-    check::CheckReport mod = check::runChecks(image, mopts);
-    rep.checks.diags.insert(rep.checks.diags.end(),
-                            mod.diags.begin(), mod.diags.end());
-    // Canonical order: shard fan-out merges findings in shard order,
-    // which depends on shard_size; sorting makes serial and --jobs N
-    // reports diff cleanly.
-    check::sortDiagnostics(rep.checks.diags);
-    rep.timing.check_ms = msSince(*check_start);
-}
-
 } // namespace
 
 ir::Module
@@ -482,22 +537,167 @@ buildImageParallel(const ir::Module& linked,
     ParallelPipelineReport local;
     ParallelPipelineReport& rep = report ? *report : local;
 
+    const auto build_start = Clock::now();
+    const double cpu_start = processCpuMs();
     rep.baseline_image_size = analysis::imageSizeOf(linked);
 
-    runtime::ThreadPool pool(std::max<size_t>(1, config.jobs));
-
-    if (config.enable_icp) {
-        const auto start = Clock::now();
-        runIcpStage(image, working, config, pool, rep);
-        rep.timing.icp_ms = msSince(start);
+    // Small-module bypass: below the threshold (or serially), skip the
+    // graph/pool machinery entirely — StageExec runs every job body
+    // inline in add order, the serial schedule.
+    const bool bypass =
+        config.jobs <= 1 ||
+        instructionCount(linked) < config.serial_below_insts;
+    std::unique_ptr<runtime::ThreadPool> owned_pool;
+    runtime::ThreadPool* pool = nullptr;
+    if (!bypass) {
+        pool = config.pool;
+        if (!pool) {
+            owned_pool = std::make_unique<runtime::ThreadPool>(
+                std::max<size_t>(1, config.jobs));
+            pool = owned_pool.get();
+        }
     }
+    rep.serial_bypass = bypass;
+    rep.jobs_used = bypass ? 1 : pool->size();
+
+    // Captured before any rewrite: hardening of quiet functions (which
+    // lowers their switches) starts inside the ICP fan-out below.
+    const uint32_t switches_before = opt::countSwitches(image);
+
+    check::CheckOptions copts;
+    copts.coverage = false; // module-wide groups run at the tail
+    copts.profile_flow = false;
+
+    auto check_once = std::make_shared<std::once_flag>();
+    auto check_start = std::make_shared<Clock::time_point>();
+
+    // --- phase 1: ICP plan, then ICP rewrites fused with the quiet
+    // partition's harden+check shards in one graph. -------------------
+    const auto icp_stage_start = Clock::now();
+    opt::IcpPlan plan;
+    if (config.enable_icp) {
+        plan = planIcpStage(image, working, config);
+        rep.timing.plan_ms = msSince(icp_stage_start);
+    }
+
+    // Partition functions: participants are everything ICP/inline can
+    // read or write; the quiet rest hardens and audits right away.
+    std::vector<char> participant(image.numFunctions(), 0);
+    if (config.enable_icp || config.enable_inline)
+        participant = markParticipants(image, working);
+    for (const auto& [func, indices] : plan.by_func) {
+        (void)indices;
+        if (func < participant.size())
+            participant[func] = 1; // defensive; planned sites qualify
+    }
+    std::vector<ir::FuncId> quiet_funcs;
+    std::vector<ir::FuncId> participant_funcs;
+    for (ir::FuncId f = 0; f < image.numFunctions(); ++f)
+        (participant[f] ? participant_funcs : quiet_funcs)
+            .push_back(f);
+    rep.participant_funcs = participant_funcs.size();
+    rep.quiet_funcs = quiet_funcs.size();
+
+    const auto quiet_chunks = chunkFuncs(quiet_funcs, config.shard_size);
+    const auto part_chunks =
+        chunkFuncs(participant_funcs, config.shard_size);
+    std::vector<ShardResult> shard_results(quiet_chunks.size() +
+                                           part_chunks.size());
+
+    {
+        StageExec exec(pool);
+        if (config.enable_icp) {
+            for (const auto& [func, indices] : plan.by_func) {
+                (void)indices;
+                const ir::FuncId f = func;
+                exec.add("icp/" + image.func(f).name,
+                         [&image, &plan, f](const runtime::JobContext&) {
+                             opt::applyIcpFunction(image, f, plan);
+                         });
+            }
+        }
+        addHardenCheckJobs(exec, image, config, copts, quiet_chunks,
+                           shard_results, 0, check_once, check_start);
+        exec.run();
+    }
+    if (config.enable_icp) {
+        rep.icp = opt::finalizeIcp(plan, working);
+        rep.timing.icp_ms = msSince(icp_stage_start);
+    }
+
+    // --- phase 2: round-based parallel inlining ----------------------
     if (config.enable_inline) {
         const auto start = Clock::now();
         runInlineStage(image, working, config, pool, rep);
         rep.timing.inline_ms = msSince(start);
     }
-    runHardenAndCheckStage(image, config, pool, rep, Clock::now());
 
+    // --- phase 3: participants' harden+check shards, then the
+    // module-wide audit tail. -----------------------------------------
+    const auto harden_start = Clock::now();
+    {
+        StageExec exec(pool);
+        addHardenCheckJobs(exec, image, config, copts, part_chunks,
+                           shard_results, quiet_chunks.size(),
+                           check_once, check_start);
+        exec.run();
+    }
+
+    rep.coverage = harden::analyzeCoverage(image);
+    rep.coverage.lowered_switches =
+        switches_before - opt::countSwitches(image);
+    // ICP residue accounting, recovered from the promotion audit
+    // (mirrors core::buildImage).
+    rep.coverage.capped_residual_icalls = rep.icp.capped_sites;
+    rep.coverage.elided_icalls = rep.icp.fallbacks_dropped;
+    rep.timing.harden_ms = msSince(harden_start);
+
+    if (config.run_checks) {
+        std::call_once(*check_once,
+                       [&check_start] { *check_start = Clock::now(); });
+
+        // Merge in chunk (= FuncId) order: quiet chunks first, then
+        // participant chunks — sortDiagnostics below canonicalizes.
+        for (const ShardResult& sr : shard_results) {
+            rep.checks.diags.insert(rep.checks.diags.end(),
+                                    sr.report.diags.begin(),
+                                    sr.report.diags.end());
+            rep.analyses_computed += sr.computed;
+            rep.analyses_reused += sr.hits;
+        }
+
+        // Module-wide obligations: cross-function site-id uniqueness,
+        // hardening-coverage reconciliation, feasible-target
+        // validation. The per-function portions (coverage audit, ICP
+        // guard-chain scan) fan out over the same pool.
+        for (const std::string& p : ir::verifyModuleSiteIds(image)) {
+            check::Diagnostic d;
+            d.check_id = "verify.sites";
+            d.severity = check::Severity::kError;
+            d.message = p;
+            rep.checks.diags.push_back(std::move(d));
+        }
+        check::CheckOptions mopts;
+        mopts.verify = false;
+        mopts.lint = false;
+        mopts.coverage = true;
+        mopts.targets = true;
+        mopts.defense = config.defenses;
+        check::CheckReport mod =
+            pool ? check::runChecksParallel(image, mopts, *pool,
+                                            config.shard_size)
+                 : check::runChecks(image, mopts);
+        rep.checks.diags.insert(rep.checks.diags.end(),
+                                mod.diags.begin(), mod.diags.end());
+        // Canonical order: the fan-out merges findings in chunk order,
+        // which depends on shard_size and the quiet partition; sorting
+        // makes serial and --jobs N reports diff cleanly.
+        check::sortDiagnostics(rep.checks.diags);
+        rep.timing.check_ms = msSince(*check_start);
+    }
+
+    rep.timing.total_ms = msSince(build_start);
+    rep.timing.cpu_ms = processCpuMs() - cpu_start;
     rep.image_size = analysis::imageSizeOf(image);
     rep.final_profile = std::move(working);
     return image;

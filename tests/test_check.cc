@@ -12,12 +12,15 @@
 #include <algorithm>
 
 #include "check/analysis_manager.h"
+#include "check/cfg.h"
 #include "check/checks.h"
+#include "check/dataflow.h"
 #include "check/sandwich.h"
 #include "ir/builder.h"
 #include "ir/verifier.h"
 #include "kernel/kernel.h"
 #include "pibe/pipeline.h"
+#include "runtime/thread_pool.h"
 #include "tests/test_util.h"
 #include "uarch/simulator.h"
 
@@ -926,6 +929,146 @@ TEST(Diagnostics, SortIsCanonicalAndDeterministic)
     EXPECT_EQ(diags.back().check_id, "coverage.reconcile");
     for (size_t i = 1; i < diags.size(); ++i)
         EXPECT_LE(diags[i - 1].func, diags[i].func);
+}
+
+// --- streaming cursors vs replay oracles ----------------------------
+
+// The lint sweep runs on forward streaming cursors / per-block fact
+// matrices; the original per-query forms are kept as oracles. Every
+// (block, instruction, register) query must agree on modules with
+// branches, icalls, frames, and dead code.
+TEST(DataflowCursors, StreamingMatchesReplayOracles)
+{
+    for (uint64_t seed : {1u, 7u, 23u, 99u, 1234u}) {
+        test::GenConfig gcfg;
+        gcfg.seed = seed;
+        gcfg.num_mids = 8;
+        gcfg.max_blocks = 7;
+        const ir::Module m = test::generateModule(gcfg);
+        ASSERT_TRUE(test::verifies(m));
+
+        for (const ir::Function& f : m.functions()) {
+            if (f.isDeclaration())
+                continue;
+            const check::Cfg cfg(f);
+            const check::Liveness live(f, cfg);
+            const check::FrameLiveness frame_live(f, cfg);
+            const check::ReachingDefs reach(f, cfg);
+            const check::DefiniteAssignment assign(f, cfg);
+
+            check::ReachingDefs::Cursor reach_cur(reach);
+            check::DefiniteAssignment::Cursor assign_cur(assign);
+            check::FactMatrix reg_out;
+            check::FactMatrix frame_out;
+            std::vector<size_t> cursor_ids;
+
+            for (ir::BlockId b = 0; b < f.blocks.size(); ++b) {
+                const auto& insts = f.blocks[b].insts;
+                const std::vector<check::BitVector> live_ref =
+                    live.perInstLiveOut(b);
+                const std::vector<check::BitVector> frame_ref =
+                    frame_live.perInstLiveOut(b);
+                live.perInstLiveOut(b, reg_out);
+                frame_live.perInstLiveOut(b, frame_out);
+                reach_cur.startBlock(b);
+                assign_cur.startBlock(b);
+
+                for (uint32_t i = 0; i < insts.size(); ++i) {
+                    for (ir::Reg r = 0; r < f.num_regs; ++r) {
+                        EXPECT_EQ(reg_out.test(i, r),
+                                  live_ref[i].test(r))
+                            << f.name << " b" << b << " i" << i
+                            << " r" << r;
+                        reach_cur.defsOf(r, cursor_ids);
+                        EXPECT_EQ(cursor_ids,
+                                  reach.defsOfRegAt(b, i, r))
+                            << f.name << " b" << b << " i" << i
+                            << " r" << r;
+                    }
+                    for (uint32_t s = 0; s < f.frame_size; ++s)
+                        EXPECT_EQ(frame_out.test(i, s),
+                                  frame_ref[i].test(s));
+                    EXPECT_TRUE(assign_cur.assigned() ==
+                                assign.assignedBefore(b, i))
+                        << f.name << " b" << b << " i" << i;
+                    reach_cur.advance(insts[i]);
+                    assign_cur.advance(insts[i]);
+                }
+            }
+        }
+    }
+}
+
+// --- the parallel check sandwich ------------------------------------
+
+// runChecksParallel must produce the same sorted diagnostic list as
+// runChecks at every pool size and shard size, on a module seeded
+// with real findings (dead stores, uninitialized uses, bad coverage).
+TEST(ParallelChecks, IdenticalToSerialAtEveryPoolAndShardSize)
+{
+    test::GenConfig gcfg;
+    gcfg.seed = 5;
+    gcfg.num_mids = 10;
+    ir::Module m = test::generateModule(gcfg);
+
+    check::CheckOptions opts;
+    opts.coverage = true; // unhardened module: plenty of findings
+    opts.targets = true;
+    opts.defense = harden::DefenseConfig::all();
+
+    CheckReport serial = check::runChecks(m, opts);
+    check::sortDiagnostics(serial.diags);
+    ASSERT_FALSE(serial.diags.empty());
+    const std::string want = check::renderText(serial.diags);
+
+    for (size_t pool_size : {1u, 2u, 8u}) {
+        for (size_t shard : {1u, 3u, 64u}) {
+            runtime::ThreadPool pool(pool_size);
+            CheckReport par =
+                check::runChecksParallel(m, opts, pool, shard);
+            check::sortDiagnostics(par.diags);
+            EXPECT_EQ(check::renderText(par.diags), want)
+                << "pool " << pool_size << " shard " << shard;
+        }
+    }
+}
+
+// A clean hardened kernel must stay clean through the parallel
+// sandwich, and the shared-analysis phase timings must be populated.
+TEST(ParallelChecks, CleanKernelStaysCleanAndTimed)
+{
+    kernel::KernelConfig kcfg;
+    kcfg.num_drivers = 3;
+    ir::Module m = kernel::buildKernel(kcfg).module;
+    harden::applyDefenses(m, harden::DefenseConfig::all());
+
+    check::CheckOptions opts;
+    opts.coverage = true;
+    opts.targets = true;
+    opts.defense = harden::DefenseConfig::all();
+
+    runtime::ThreadPool pool(4);
+    CheckReport par = check::runChecksParallel(m, opts, pool, 2);
+    check::sortDiagnostics(par.diags);
+    EXPECT_EQ(par.errors(), 0u)
+        << (par.diags.empty() ? std::string()
+                              : par.diags.front().render());
+
+    CheckReport serial = check::runChecks(m, opts);
+    check::sortDiagnostics(serial.diags);
+    EXPECT_EQ(check::renderText(par.diags),
+              check::renderText(serial.diags));
+
+    // The parallel runner reports its phase boundaries.
+    std::vector<std::string> names;
+    for (const auto& [name, ms] : par.group_ms)
+        names.push_back(name);
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "targets.solve"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "shards.parallel"),
+              names.end());
 }
 
 } // namespace

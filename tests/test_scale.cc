@@ -14,6 +14,7 @@
 #include "ir/parser.h"
 #include "ir/verifier.h"
 #include "profile/serialize.h"
+#include "runtime/thread_pool.h"
 #include "scale/parallel_pipeline.h"
 #include "scale/scale_builder.h"
 #include "scale/synthetic_profile.h"
@@ -158,6 +159,62 @@ TEST(ScalePipeline, AuditIsCleanAndIncremental)
     EXPECT_GT(rep.analyses_reused, 0u);
     EXPECT_GT(rep.image_size, rep.baseline_image_size);
     EXPECT_EQ(rep.image_size, analysis::imageSizeOf(image));
+}
+
+// The small-module bypass and a caller-injected warm pool are pure
+// scheduling changes: digest, audit, and coverage must be identical
+// to the pooled build, and the report must say which path ran.
+TEST(ScalePipeline, SerialBypassAndInjectedPoolAreBitIdentical)
+{
+    const ir::Module m = scale::buildScaleModule(smallConfig());
+    const profile::EdgeProfile prof = scale::synthesizeProfile(m);
+
+    scale::ParallelPipelineConfig cfg;
+    cfg.defenses = harden::DefenseConfig::all();
+    cfg.jobs = 4;
+
+    // Pooled run (threshold below the module size).
+    cfg.serial_below_insts = 0;
+    scale::ParallelPipelineReport pooled_rep;
+    const ir::Module pooled =
+        scale::buildImageParallel(m, prof, cfg, &pooled_rep);
+    EXPECT_FALSE(pooled_rep.serial_bypass);
+    EXPECT_EQ(pooled_rep.jobs_used, 4u);
+
+    // Bypass run (threshold above the module size): same digest.
+    cfg.serial_below_insts = 1u << 30;
+    scale::ParallelPipelineReport bypass_rep;
+    const ir::Module bypassed =
+        scale::buildImageParallel(m, prof, cfg, &bypass_rep);
+    EXPECT_TRUE(bypass_rep.serial_bypass);
+    EXPECT_EQ(bypass_rep.jobs_used, 1u);
+    EXPECT_EQ(scale::moduleDigest(pooled), scale::moduleDigest(bypassed));
+    EXPECT_EQ(check::renderText(pooled_rep.checks.diags),
+              check::renderText(bypass_rep.checks.diags));
+    EXPECT_EQ(pooled_rep.inlining.inlined_sites,
+              bypass_rep.inlining.inlined_sites);
+    EXPECT_EQ(pooled_rep.coverage.protected_icalls,
+              bypass_rep.coverage.protected_icalls);
+
+    // Injected warm pool: pool size wins over cfg.jobs.
+    runtime::ThreadPool pool(3);
+    cfg.serial_below_insts = 0;
+    cfg.pool = &pool;
+    scale::ParallelPipelineReport inj_rep;
+    const ir::Module injected =
+        scale::buildImageParallel(m, prof, cfg, &inj_rep);
+    EXPECT_FALSE(inj_rep.serial_bypass);
+    EXPECT_EQ(inj_rep.jobs_used, 3u);
+    EXPECT_EQ(scale::moduleDigest(pooled), scale::moduleDigest(injected));
+
+    // The quiet/participant partition covered every function, and the
+    // build's stage clock ran.
+    EXPECT_EQ(pooled_rep.quiet_funcs + pooled_rep.participant_funcs,
+              static_cast<size_t>(m.numFunctions()));
+    EXPECT_GT(pooled_rep.quiet_funcs, 0u);
+    EXPECT_GT(pooled_rep.participant_funcs, 0u);
+    EXPECT_GT(pooled_rep.timing.total_ms, 0.0);
+    EXPECT_GT(pooled_rep.timing.cpu_ms, 0.0);
 }
 
 } // namespace

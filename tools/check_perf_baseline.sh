@@ -1,22 +1,82 @@
 #!/usr/bin/env bash
-# Perf smoke gate: fail if the freshly measured interpreter throughput
-# regresses more than 10% below the checked-in baseline.
+# Perf smoke gates: fail if a freshly measured benchmark regresses
+# more than 10% below/above the checked-in baseline.
 #
 #   tools/check_perf_baseline.sh NEW.json [BASELINE.json]
+#   tools/check_perf_baseline.sh --scale NEW_SCALE.json [BASELINE.json]
 #
-# Both files are BENCH_interpreter.json artifacts (written by
-# `microbench_interpreter --interpreter-json`); the gated metric is
+# Default mode gates BENCH_interpreter.json artifacts (written by
+# `microbench_interpreter --interpreter-json`) on
 # decoded_minstr_per_s, the peak-window throughput of the threaded
 # fused engine. BASELINE defaults to the BENCH_interpreter.json
 # committed at the repo root.
 #
+# --scale gates BENCH_scale.json artifacts (written by
+# `pibe scalebench`): the serial pipeline build time of the
+# 10^5-instruction module must not exceed the baseline's by more than
+# the margin (PIBE_SCALE_MARGIN, default 1.5 — wall-clock on a shared
+# or cross-machine runner is far noisier than the interpreter's
+# peak-window throughput, so this is a coarse guard against
+# order-of-magnitude blow-ups; tighten the margin locally when
+# comparing against a baseline regenerated on the same idle box), and
+# every serial-vs-parallel digest comparison must have matched.
+#
 # The 10% margin absorbs run-to-run noise on shared CI runners (the
-# benchmark itself already reports a peak window, which removes most
-# scheduler-induced variance); a real dispatch-loop regression shows
-# up far larger than that.
+# interpreter benchmark already reports a peak window, which removes
+# most scheduler-induced variance); a real regression shows up far
+# larger than that.
 set -euo pipefail
 
-NEW="${1:?usage: check_perf_baseline.sh NEW.json [BASELINE.json]}"
+MODE=interpreter
+if [ "${1:-}" = "--scale" ]; then
+    MODE=scale
+    shift
+fi
+
+NEW="${1:?usage: check_perf_baseline.sh [--scale] NEW.json [BASELINE.json]}"
+
+if [ "$MODE" = "scale" ]; then
+    BASELINE="${2:-$(dirname "$0")/../BENCH_scale.json}"
+    MARGIN="${PIBE_SCALE_MARGIN:-1.5}"
+    python3 - "$NEW" "$BASELINE" "$MARGIN" <<'EOF'
+import json, sys
+
+new_path, base_path, margin = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+def row_at(doc, insts):
+    for row in doc["sizes"]:
+        if row.get("target_insts") == insts:
+            return row
+    sys.exit(f"FAIL: no {insts}-inst row in scalebench artifact")
+
+new_doc, base_doc = load(new_path), load(base_path)
+
+if not new_doc.get("all_digests_match", False):
+    print("FAIL: serial vs parallel image digests diverged",
+          file=sys.stderr)
+    sys.exit(1)
+
+GATE_INSTS = 100000
+new_ms = row_at(new_doc, GATE_INSTS)["serial_build_ms"]
+base_ms = row_at(base_doc, GATE_INSTS)["serial_build_ms"]
+ceiling = base_ms * margin
+print(f"serial_build_ms @ 10^5: measured {new_ms:.0f}, "
+      f"baseline {base_ms:.0f}, ceiling {ceiling:.0f} "
+      f"({margin:.0%} of baseline)")
+if new_ms > ceiling:
+    print("FAIL: pipeline build time regressed "
+          f"{new_ms / base_ms - 1:.1%} above the checked-in baseline",
+          file=sys.stderr)
+    sys.exit(1)
+print("OK")
+EOF
+    exit 0
+fi
+
 BASELINE="${2:-$(dirname "$0")/../BENCH_interpreter.json}"
 MARGIN="${PIBE_PERF_MARGIN:-0.90}"
 

@@ -21,6 +21,7 @@
  *                 [--checks verify,lint,coverage,profile,targets]
  *                 [--json] [--fail-on note|warn|error] [--roots a,b,c]
  *                 [--allow-func f,g] [--allow-site 1,2]
+ *                 [--jobs N] [--timing]
  *   pibe surface  -m file.pir [-p prof.txt] [--json FILE]
  *                 [--max-targets N] [--fail-on note|warn|error]
  *                 [--roots a,b,c]
@@ -42,7 +43,8 @@
  *                 [--icalls-per-kinst F] [--ops-per-table N]
  *                 [--entry-points N] [--mix core,fs,net,drivers]
  *   pibe scalebench [--sizes N,N,...] [--seed S] [--jobs N]
- *                 [--out BENCH_scale.json]
+ *                 [--out BENCH_scale.json] [--stage-profile]
+ *                 [--serial-below N]
  *   pibe selftest            (end-to-end smoke of all subcommands)
  */
 #include <sys/resource.h>
@@ -58,6 +60,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <map>
 #include <sstream>
 #include <string>
@@ -730,25 +733,81 @@ cmdCheck(Args& args)
         PIBE_FATAL("unknown --fail-on '", fail_on,
                    "' (expected note, warn, or error)");
 
+    const size_t jobs =
+        std::max<size_t>(1, std::stoul(args.get("--jobs", "1")));
+
     // The shared policy gate: CLI, in-process engine callers, and the
     // serve daemon all decide pass/fail through runChecksWithPolicy,
-    // so --fail-on semantics cannot drift between entry points.
-    check::CheckOutcome outcome =
-        check::runChecksWithPolicy(m, opts, *threshold);
+    // so --fail-on semantics cannot drift between entry points. With
+    // --jobs > 1 the per-function groups fan out over a thread pool;
+    // the sorted report is byte-identical at every jobs count.
+    check::AnalysisManager am(m);
+    check::CheckOutcome outcome;
+    outcome.fail_on = *threshold;
+    if (jobs > 1) {
+        runtime::ThreadPool pool(jobs);
+        outcome.report =
+            check::runChecksParallel(m, opts, pool, 64, &am);
+        outcome.passed = outcome.report.ok(*threshold);
+    } else {
+        outcome = check::runChecksWithPolicy(m, opts, *threshold, &am);
+    }
     // Canonical emission order: checkers append group-by-group, so
     // without this the order would leak scheduling details into the
     // JSON consumed by CI diffs.
     check::sortDiagnostics(outcome.report.diags);
     const check::CheckReport& report = outcome.report;
+
+    // --timing: per-checker wall times plus the target-set solver
+    // counters, as one JSON object (merged into BENCH_scale.json by
+    // tools/run_all_tables.sh when requested).
+    std::string timing_json;
+    if (args.has("--timing")) {
+        std::ostringstream t;
+        t << "{\"jobs\":" << jobs << ",\"groups\":[";
+        for (size_t i = 0; i < report.group_ms.size(); ++i) {
+            if (i)
+                t << ",";
+            t << "{\"name\":\"" << report.group_ms[i].first
+              << "\",\"ms\":" << std::fixed << std::setprecision(2)
+              << report.group_ms[i].second << "}";
+        }
+        t << "]";
+        if (opts.targets) {
+            const check::SolverStats& ss =
+                am.targetSets(opts.roots).solverStats();
+            t << ",\"solver\":{\"mode\":\""
+              << (ss.mode == check::SolverMode::kFast ? "fast"
+                                                      : "reference")
+              << "\",\"nodes\":" << ss.nodes
+              << ",\"static_edges\":" << ss.static_edges
+              << ",\"dynamic_edges\":" << ss.dynamic_edges
+              << ",\"scc_collapsed\":" << ss.scc_collapsed
+              << ",\"lcd_collapsed\":" << ss.lcd_collapsed
+              << ",\"interned_sets\":" << ss.interned_sets
+              << ",\"union_memo_hits\":" << ss.union_memo_hits
+              << ",\"pops\":" << ss.pops << ",\"solve_ms\":"
+              << std::fixed << std::setprecision(2) << ss.solve_ms
+              << "}";
+        }
+        t << "}";
+        timing_json = t.str();
+    }
+
     if (args.has("--json")) {
         std::printf("{\"module\":\"%s\",\"errors\":%zu,"
                     "\"warnings\":%zu,\"notes\":%zu,"
-                    "\"passed\":%s,\"diagnostics\":%s}\n",
+                    "\"passed\":%s,%s\"diagnostics\":%s}\n",
                     path.c_str(), report.errors(), report.warnings(),
                     report.notes(), outcome.passed ? "true" : "false",
+                    timing_json.empty()
+                        ? ""
+                        : ("\"timing\":" + timing_json + ",").c_str(),
                     check::renderJson(report.diags).c_str());
     } else {
         std::printf("%s", check::renderText(report.diags).c_str());
+        if (!timing_json.empty())
+            std::printf("timing: %s\n", timing_json.c_str());
         std::printf("%s: %zu error(s), %zu warning(s), %zu note(s)\n",
                     path.c_str(), report.errors(), report.warnings(),
                     report.notes());
@@ -885,15 +944,33 @@ cmdGenkernel(Args& args)
     return 0;
 }
 
+/** One StageTiming as a JSON object (for --stage-profile rows). */
+std::string
+stageTimingJson(const scale::StageTiming& t)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"plan_ms\":%.1f,\"icp_ms\":%.1f,"
+                  "\"inline_ms\":%.1f,\"harden_ms\":%.1f,"
+                  "\"check_ms\":%.1f,\"total_ms\":%.1f,"
+                  "\"cpu_ms\":%.1f}",
+                  t.plan_ms, t.icp_ms, t.inline_ms, t.harden_ms,
+                  t.check_ms, t.total_ms, t.cpu_ms);
+    return buf;
+}
+
 /**
  * One fork-isolated scalebench measurement: generate a module of
  * `insts` instructions, synthesize its profile, build the hardened
  * image serially and with `jobs` workers, and write one JSON object
  * with timings, digests, and audit counters to `fd`. Runs in the
- * child so the parent can read peak RSS from wait4().
+ * child so the parent can read peak RSS from wait4(). The worker pool
+ * is created once, before any timed region, so the parallel
+ * measurement reflects scheduling cost, not thread start-up.
  */
 void
-runScalebenchChild(uint64_t insts, uint64_t seed, size_t jobs, int fd)
+runScalebenchChild(uint64_t insts, uint64_t seed, size_t jobs,
+                   uint64_t serial_below, bool stage_profile, int fd)
 {
     using Clock = std::chrono::steady_clock;
     auto ms = [](Clock::time_point a, Clock::time_point b) {
@@ -914,8 +991,12 @@ runScalebenchChild(uint64_t insts, uint64_t seed, size_t jobs, int fd)
     profile::EdgeProfile prof = scale::synthesizeProfile(m, pcfg);
     const Clock::time_point t2 = Clock::now();
 
+    // Warm the pool before the first timed build.
+    runtime::ThreadPool pool(std::max<size_t>(2, jobs));
+
     scale::ParallelPipelineConfig pc;
     pc.defenses = harden::DefenseConfig::all();
+    pc.serial_below_insts = serial_below;
     pc.jobs = 1;
     scale::ParallelPipelineReport serial_rep;
     std::string serial_digest;
@@ -928,6 +1009,7 @@ runScalebenchChild(uint64_t insts, uint64_t seed, size_t jobs, int fd)
     const Clock::time_point t4 = Clock::now();
 
     pc.jobs = jobs;
+    pc.pool = &pool;
     scale::ParallelPipelineReport par_rep;
     std::string par_digest;
     const Clock::time_point t5 = Clock::now();
@@ -940,6 +1022,13 @@ runScalebenchChild(uint64_t insts, uint64_t seed, size_t jobs, int fd)
 
     const double serial_ms = ms(t3, t4);
     const double par_ms = ms(t5, t6);
+    std::string stages;
+    if (stage_profile) {
+        stages = "\"stages\":{\"serial\":" +
+                 stageTimingJson(serial_rep.timing) +
+                 ",\"parallel\":" + stageTimingJson(par_rep.timing) +
+                 "},";
+    }
     dprintf(
         fd,
         "{\"target_insts\":%llu,\"insts\":%llu,\"functions\":%llu,"
@@ -947,8 +1036,10 @@ runScalebenchChild(uint64_t insts, uint64_t seed, size_t jobs, int fd)
         "\"gen_ms\":%.1f,\"profile_ms\":%.1f,"
         "\"serial_build_ms\":%.1f,\"parallel_build_ms\":%.1f,"
         "\"speedup\":%.2f,"
+        "\"jobs_used\":%llu,\"serial_bypass\":%s,"
+        "\"quiet_funcs\":%llu,\"participant_funcs\":%llu,"
         "\"icp_ms\":%.1f,\"inline_ms\":%.1f,\"harden_ms\":%.1f,"
-        "\"check_ms\":%.1f,\"inline_rounds\":%u,"
+        "\"check_ms\":%.1f,%s\"inline_rounds\":%u,"
         "\"analyses_computed\":%llu,\"analyses_reused\":%llu,"
         "\"check_errors\":%llu,"
         "\"baseline_image_size\":%llu,\"image_size\":%llu,"
@@ -959,9 +1050,13 @@ runScalebenchChild(uint64_t insts, uint64_t seed, size_t jobs, int fd)
         static_cast<unsigned long long>(stats.icall_sites),
         ms(t0, t1), ms(t1, t2), serial_ms, par_ms,
         par_ms > 0 ? serial_ms / par_ms : 0.0,
+        static_cast<unsigned long long>(par_rep.jobs_used),
+        par_rep.serial_bypass ? "true" : "false",
+        static_cast<unsigned long long>(par_rep.quiet_funcs),
+        static_cast<unsigned long long>(par_rep.participant_funcs),
         serial_rep.timing.icp_ms, serial_rep.timing.inline_ms,
         serial_rep.timing.harden_ms, serial_rep.timing.check_ms,
-        par_rep.inline_rounds,
+        stages.c_str(), par_rep.inline_rounds,
         static_cast<unsigned long long>(
             serial_rep.analyses_computed),
         static_cast<unsigned long long>(serial_rep.analyses_reused),
@@ -979,6 +1074,9 @@ cmdScalebench(Args& args)
 {
     const std::string out = args.get("--out", "BENCH_scale.json");
     const uint64_t seed = std::stoull(args.get("--seed", "42"));
+    const bool stage_profile = args.has("--stage-profile");
+    const uint64_t serial_below =
+        std::stoull(args.get("--serial-below", "4096"));
     size_t jobs = std::stoul(args.get("--jobs", "0"));
     if (jobs == 0) {
         jobs = std::thread::hardware_concurrency();
@@ -1008,7 +1106,8 @@ cmdScalebench(Args& args)
             PIBE_FATAL("fork() failed");
         if (pid == 0) {
             close(fds[0]);
-            runScalebenchChild(n, seed, jobs, fds[1]);
+            runScalebenchChild(n, seed, jobs, serial_below,
+                               stage_profile, fds[1]);
             close(fds[1]);
             _exit(0);
         }
@@ -1074,18 +1173,34 @@ cmdScalebench(Args& args)
         max_rss_exp = std::max(max_rss_exp, rss_exps[i]);
     }
 
+    // Parallel-over-serial crossover: the smallest size whose
+    // parallel build beat the serial one without the bypass engaging.
+    uint64_t crossover = 0;
+    for (const Row& row : rows) {
+        if (!row.json["serial_bypass"].asBool() &&
+            row.json["speedup"].asDouble() > 1.0) {
+            crossover =
+                static_cast<uint64_t>(row.json["insts"].asDouble());
+            break;
+        }
+    }
+
     std::FILE* f = std::fopen(out.c_str(), "w");
     if (!f)
         PIBE_FATAL("cannot write ", out);
     std::fprintf(f,
                  "{\n  \"bench\": \"scale\",\n  \"seed\": %llu,\n"
                  "  \"jobs\": %zu,\n  \"nproc\": %u,\n"
+                 "  \"serial_below_insts\": %llu,\n"
+                 "  \"crossover_insts\": %llu,\n"
                  "  \"all_digests_match\": %s,\n"
                  "  \"max_time_scaling_exponent\": %.2f,\n"
                  "  \"max_rss_scaling_exponent\": %.2f,\n"
                  "  \"sizes\": [\n",
                  static_cast<unsigned long long>(seed), jobs,
                  std::thread::hardware_concurrency(),
+                 static_cast<unsigned long long>(serial_below),
+                 static_cast<unsigned long long>(crossover),
                  all_match ? "true" : "false", max_time_exp,
                  max_rss_exp);
     for (size_t i = 0; i < rows.size(); ++i) {

@@ -109,7 +109,29 @@ done
 wait "$SERVE_PID"
 
 echo "== scalebench (generated modules, serial vs parallel) =="
-"$BUILD_DIR/tools/pibe" scalebench --jobs "$JOBS" --out "$SCALE_JSON"
+"$BUILD_DIR/tools/pibe" scalebench --jobs "$JOBS" --stage-profile \
+    --out "$SCALE_JSON"
+
+echo "== parallel check sandwich timing (pibe check --jobs --timing) =="
+"$BUILD_DIR/tools/pibe" genkernel --insts 100000 --seed 42 \
+    -o "$WORK/check-scale.pir" --profile "$WORK/check-scale.prof" \
+    > /dev/null
+"$BUILD_DIR/tools/pibe" check -m "$WORK/check-scale.pir" \
+    -p "$WORK/check-scale.prof" --jobs "$JOBS" --timing --json \
+    > "$WORK/check-timing.json"
+# Graft the checker timing breakdown into the scale artifact so one
+# file carries the whole pipeline's perf curves.
+python3 - "$SCALE_JSON" "$WORK/check-timing.json" <<'EOF'
+import json, sys
+scale_path, timing_path = sys.argv[1], sys.argv[2]
+with open(scale_path) as f:
+    doc = json.load(f)
+with open(timing_path) as f:
+    doc["check_timing"] = json.load(f).get("timing", {})
+with open(scale_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
 
 echo "== residual-attack-surface report (pibe surface) =="
 "$BUILD_DIR/tools/pibe" kernel -o "$WORK/surface-kernel.pir" --drivers 64
